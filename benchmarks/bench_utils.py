@@ -1,0 +1,45 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one of the paper's tables or figures at a
+reduced-but-shape-preserving scale, prints the same rows/series the paper
+reports, and writes the rendering to ``benchmarks/results/`` so the output
+survives pytest's capture.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).resolve().parent / "results"
+
+#: Scaled-down experiment size shared by the benches.  The paper uses
+#: N in 10..50 (or ..100) with 50 queries per N, two replicates, and a
+#: wall-clock budget of up to 9 N^2 seconds; these settings preserve the
+#: comparisons' shape at roughly 1/1000 of the compute.  N stays at 20+
+#: because below that the search spaces are easy enough that the methods
+#: (and the chooseNext criteria) collapse into ties.
+#: ``units_per_n2 = 20`` is the calibration point where the paper's
+#: AGI-then-IAI crossover appears: below it IAI never exhausts its
+#: augmentation starts; far above it IAI dominates from the start.
+BENCH_SCALE = dict(
+    n_values=(20, 30),
+    queries_per_n=8,
+    units_per_n2=20.0,
+    replicates=1,
+    seed=2026,
+)
+
+
+def save_and_print(name: str, text: str) -> Path:
+    """Print a rendered table/series and persist it under results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n", encoding="utf-8")
+    print()
+    print(text)
+    return path
+
+
+def format_paper_reference(rows: list[str]) -> str:
+    """Format the paper's published numbers for side-by-side reading."""
+    return "\n".join(["Paper reference:"] + [f"  {row}" for row in rows])

@@ -1,0 +1,66 @@
+"""Ablation — the (cluster, overlap) grid of local improvement (§4.3).
+
+The paper asserts (without a table) that the feasible strategies are, in
+decreasing power, (5,4), (4,3), (3,2), (2,1), (2,0), each to be used when
+time allows.  This bench measures, per strategy, the improvement achieved
+over a fixed start state and the units spent, confirming the power/cost
+ordering.
+"""
+
+from repro.core.budget import Budget
+from repro.core.local_improvement import FEASIBLE_STRATEGIES, local_improve
+from repro.core.state import Evaluation, Evaluator
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.report import render_matrix
+from repro.plans.validity import random_valid_order
+from repro.utils.rng import derive_rng
+from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+
+from bench_utils import BENCH_SCALE, save_and_print
+
+
+def run_li_ablation():
+    queries = generate_benchmark(
+        DEFAULT_SPEC, n_values=(15,), queries_per_n=8, seed=BENCH_SCALE["seed"]
+    )
+    model = MainMemoryCostModel()
+    rows = {}
+    for cluster, overlap in FEASIBLE_STRATEGIES:
+        improvements = []
+        units = []
+        for query in queries:
+            rng = derive_rng(BENCH_SCALE["seed"], query.name, cluster, overlap)
+            start_order = random_valid_order(query.graph, rng)
+            evaluator = Evaluator(query.graph, model, Budget(limit=1e9))
+            start = Evaluation(start_order, evaluator.evaluate(start_order))
+            improved = local_improve(
+                start, evaluator, cluster, overlap, max_passes=8
+            )
+            improvements.append(improved.cost / start.cost)
+            units.append(evaluator.budget.spent)
+        rows[(cluster, overlap)] = (
+            sum(improvements) / len(improvements),
+            sum(units) / len(units),
+        )
+    return rows
+
+
+def test_local_improvement_grid(benchmark):
+    rows = benchmark.pedantic(run_li_ablation, rounds=1, iterations=1)
+    text = render_matrix(
+        "Ablation: local improvement strategies (cost ratio vs units)",
+        row_labels=[f"({c},{o})" for c, o in rows],
+        column_labels=["final/start", "mean units"],
+        values=[[ratio, units] for ratio, units in rows.values()],
+        row_header="(c,o)",
+    )
+    save_and_print("ablation_local_improvement", text)
+
+    ratios = {key: ratio for key, (ratio, _) in rows.items()}
+    units = {key: spent for key, (_, spent) in rows.items()}
+    # Every strategy improves on the random start.
+    assert all(ratio <= 1.0 + 1e-9 for ratio in ratios.values())
+    # The strongest strategy improves at least as much as the weakest.
+    assert ratios[(5, 4)] <= ratios[(2, 0)] + 1e-9
+    # And costs the most work.
+    assert units[(5, 4)] == max(units.values())

@@ -1,0 +1,45 @@
+"""Figure 4 — all nine methods vs optimization time (default benchmark).
+
+Paper findings reproduced as shape assertions:
+
+* IAI is superior to all other methods over (almost) the entire range;
+* the simulated-annealing combinations (SA, SAA, SAK) are clearly
+  inferior at the largest limit;
+* every method's curve flattens towards 9N^2 (little improvement left).
+"""
+
+from repro.core.combinations import PAPER_METHODS
+from repro.experiments.figures import figure4
+from repro.experiments.report import render_experiment, render_series
+
+from bench_utils import BENCH_SCALE, save_and_print
+
+
+def run_figure4():
+    return figure4(**BENCH_SCALE)
+
+
+def test_figure4_all_nine_methods(benchmark):
+    result = benchmark.pedantic(run_figure4, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 4: all nine methods, default benchmark (mean scaled cost)",
+        result,
+    )
+    text += "\n\n" + render_series("Series (time factor: mean scaled cost)", result)
+    save_and_print("figure4", text)
+
+    at_nine = {m: result.at(m, 9.0) for m in PAPER_METHODS}
+    ranking = sorted(at_nine, key=at_nine.get)
+
+    # IAI at the front (within 5% of the best, usually the outright best).
+    assert at_nine["IAI"] <= at_nine[ranking[0]] * 1.05
+
+    # Simulated annealing and its combinations do not win.
+    for method in ("SA", "SAA", "SAK"):
+        assert at_nine[method] >= at_nine["IAI"]
+
+    # Curves flatten: the 6->9 improvement is small relative to 1.5->3.
+    for method in ("IAI", "II", "AGI"):
+        early_gain = result.at(method, 1.5) - result.at(method, 3.0)
+        late_gain = result.at(method, 6.0) - result.at(method, 9.0)
+        assert late_gain <= max(early_gain, 0.05) + 1e-9

@@ -1,0 +1,40 @@
+"""Figure 6 — IAI vs AGI vs II at small time limits.
+
+The paper's finding: **AGI is the method of choice until about 1.8N^2;
+after that IAI is better.**  AGI front-loads the cheap augmentation
+states (many good plans early) while IAI spends its early budget running
+iterative improvement from the first few augmentation states.
+"""
+
+from repro.experiments.figures import figure6
+from repro.experiments.report import render_experiment
+
+from bench_utils import BENCH_SCALE, save_and_print
+
+_SCALE = dict(BENCH_SCALE, queries_per_n=8)
+
+
+def run_figure6():
+    return figure6(**_SCALE)
+
+
+def test_figure6_small_time_limits(benchmark):
+    result = benchmark.pedantic(run_figure6, rounds=1, iterations=1)
+    text = render_experiment(
+        "Figure 6: small time limits, IAI vs AGI vs II (mean scaled cost)",
+        result,
+    )
+    save_and_print("figure6", text)
+
+    # At the smallest limit AGI is at least competitive with IAI ...
+    smallest = min(result.config.time_factors)
+    assert result.at("AGI", smallest) <= result.at("IAI", smallest) * 1.05
+
+    # ... and II (random starts only) trails the heuristic-seeded methods
+    # at small limits.
+    assert result.at("II", smallest) >= min(
+        result.at("AGI", smallest), result.at("IAI", smallest)
+    )
+
+    # At the anchor limit (9N^2) IAI has caught up or passed AGI.
+    assert result.at("IAI", 9.0) <= result.at("AGI", 9.0) * 1.05

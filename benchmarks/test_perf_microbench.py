@@ -1,0 +1,62 @@
+"""Micro-benchmarks of the optimizer's hot paths.
+
+Unlike the table/figure benches (which regenerate experiments), these
+use pytest-benchmark conventionally: repeated timing of the inner-loop
+primitives, for performance-regression tracking.  Each asserts a very
+loose sanity bound so a pathological slowdown fails loudly.
+"""
+
+import random
+
+import pytest
+
+from repro.core.augmentation import augment_order
+from repro.core.kbz import kbz_orders
+from repro.core.moves import MoveSet
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.validity import is_valid_order, random_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture(scope="module", params=[20, 50])
+def sized_query(request):
+    return generate_query(DEFAULT_SPEC, n_joins=request.param, seed=1)
+
+
+def test_perf_plan_cost(benchmark, sized_query):
+    graph = sized_query.graph
+    model = MainMemoryCostModel()
+    order = random_valid_order(graph, random.Random(0))
+    cost = benchmark(model.plan_cost, order, graph)
+    assert cost > 0
+    # Loose sanity bound: a plan evaluation stays under a millisecond
+    # per joined relation even on slow machines.
+    assert benchmark.stats.stats.mean < 1e-3 * graph.n_relations
+
+
+def test_perf_random_neighbor(benchmark, sized_query):
+    graph = sized_query.graph
+    move_set = MoveSet()
+    rng = random.Random(0)
+    order = random_valid_order(graph, rng)
+    neighbor = benchmark(move_set.random_neighbor, order, graph, rng)
+    assert is_valid_order(neighbor, graph)
+
+
+def test_perf_validity_check(benchmark, sized_query):
+    graph = sized_query.graph
+    order = random_valid_order(graph, random.Random(0))
+    assert benchmark(is_valid_order, order, graph)
+
+
+def test_perf_augmentation_state(benchmark, sized_query):
+    graph = sized_query.graph
+    order = benchmark(augment_order, graph, 0)
+    assert is_valid_order(order, graph)
+
+
+def test_perf_kbz_all_states(benchmark, sized_query):
+    graph = sized_query.graph
+    orders = benchmark(lambda: list(kbz_orders(graph)))
+    assert len(orders) == graph.n_relations

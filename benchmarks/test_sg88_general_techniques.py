@@ -1,0 +1,53 @@
+"""SG88 — the general combinatorial techniques comparison.
+
+The announced reproduction target, Swami & Gupta's SIGMOD 1988
+*Optimization of Large Join Queries*, compared general combinatorial
+optimization techniques on this problem and found **iterative
+improvement the method of choice**, with simulated annealing next and
+undirected baselines (random sampling, perturbation walk) behind.  The
+supplied 1989 text builds directly on that result ("It was shown that
+among the techniques compared, iterative improvement is the method of
+choice.  The simulated annealing algorithm ... was the next best
+method.").  This bench regenerates that comparison.
+"""
+
+from repro.experiments.report import render_experiment
+from repro.experiments.runner import ExperimentConfig, run_experiment
+from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+
+from bench_utils import BENCH_SCALE, save_and_print
+
+_METHODS = ("II", "SA", "WALK", "RANDOM")
+
+
+def run_sg88():
+    queries = generate_benchmark(
+        DEFAULT_SPEC,
+        n_values=BENCH_SCALE["n_values"],
+        queries_per_n=BENCH_SCALE["queries_per_n"],
+        seed=BENCH_SCALE["seed"],
+    )
+    config = ExperimentConfig(
+        methods=_METHODS,
+        time_factors=(1.5, 3.0, 9.0),
+        units_per_n2=BENCH_SCALE["units_per_n2"],
+        replicates=BENCH_SCALE["replicates"],
+        seed=BENCH_SCALE["seed"],
+    )
+    return run_experiment(queries, config)
+
+
+def test_sg88_general_techniques(benchmark):
+    result = benchmark.pedantic(run_sg88, rounds=1, iterations=1)
+    text = render_experiment(
+        "SG88: general combinatorial techniques (mean scaled cost)", result
+    )
+    save_and_print("sg88_general_techniques", text)
+
+    at_nine = {m: result.at(m, 9.0) for m in _METHODS}
+    # II is the method of choice ...
+    assert at_nine["II"] == min(at_nine.values())
+    # ... SA beats the undirected baselines ...
+    assert at_nine["SA"] <= min(at_nine["WALK"], at_nine["RANDOM"]) * 1.05
+    # ... and the baselines trail II by a clear margin.
+    assert min(at_nine["WALK"], at_nine["RANDOM"]) >= at_nine["II"] * 1.2

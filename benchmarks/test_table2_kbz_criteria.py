@@ -1,0 +1,59 @@
+"""Table 2 — comparison of the KBZ spanning-tree weight criteria.
+
+Paper (Table 2, mean scaled costs; criterion 3 — join selectivity, the
+KBZ86 recommendation — wins at every limit):
+
+    Time     3      4      5
+    1.5N^2   5.84   6.67   6.83
+    9N^2     5.77   6.54   6.67
+
+Reproduced shape: all three weights leave KBZ alone far from the best
+known solutions (scaled costs well above 1 — the paper's "results
+regarding the KBZ heuristic are not encouraging"), and the three weights
+land within a narrow band of each other.
+
+**Documented deviation** (see EXPERIMENTS.md): the paper finds the
+join-selectivity weight (criterion 3) clearly best; in this reproduction
+the three weights tie within seed noise, because the default benchmark's
+join graphs are nearly acyclic (join cutoff probability 0.01), so the
+spanning-tree choice rarely binds — algorithm R's rank ordering decides
+almost everything.
+"""
+
+from repro.experiments.report import render_experiment
+from repro.experiments.tables import table2
+
+from bench_utils import BENCH_SCALE, format_paper_reference, save_and_print
+
+_PAPER_ROWS = [
+    "Time     KBZ3   KBZ4   KBZ5",
+    "1.5N^2   5.84   6.67   6.83",
+    "9N^2     5.77   6.54   6.67",
+]
+
+
+def run_table2():
+    return table2(**BENCH_SCALE)
+
+
+def test_table2_kbz_criteria(benchmark):
+    result = benchmark.pedantic(run_table2, rounds=1, iterations=1)
+    text = render_experiment(
+        "Table 2: KBZ spanning-tree weight criteria (mean scaled cost)", result
+    )
+    text += "\n\n" + format_paper_reference(_PAPER_ROWS)
+    at_nine = {m: result.at(m, 9.0) for m in result.config.methods}
+    from repro.experiments.paperdata import TABLE2, ordering_agreement
+
+    rho = ordering_agreement(TABLE2[9.0], at_nine)
+    text += (
+        f"\n\nSpearman agreement with the paper's 9N^2 ordering: {rho:.2f}"
+        "\n(documented deviation: the three weights tie within noise here)"
+    )
+    save_and_print("table2", text)
+    # KBZ alone is mediocre under every weight: scaled costs well above
+    # the near-optimal IAI reference baseline of 1.0.
+    assert all(value > 1.5 for value in at_nine.values())
+    # The recommended weight (criterion 3) stays within the band of the
+    # best of the three (the paper's ordering; tied within noise here).
+    assert at_nine["KBZ3"] <= min(at_nine.values()) * 1.25

@@ -1,0 +1,84 @@
+"""Table 3 — the top five methods across the nine benchmark variations.
+
+Paper (Table 3, mean scaled costs at the 9N^2 limit; IAI wins every row):
+
+    Benchmark  IAI    IAL    AGI    KBI    II
+    1          1.18   1.38   1.35   1.43   1.43
+    2          1.35   1.62   1.77   1.68   2.11
+    3          1.30   1.55   1.76   1.96   2.06
+    4          1.06   1.16   1.13   1.20   1.24
+    5          1.51   2.07   1.89   1.87   2.18
+    6          1.58   2.02   2.50   2.65   2.83
+    7          1.02   1.10   1.06   1.06   1.04
+    8          1.23   1.44   1.48   1.59   1.56
+    9          1.33   1.56   1.42   1.58   1.59
+
+Reproduced shape: IAI at or tied with the best on (nearly) every
+benchmark; never the worst.
+"""
+
+from repro.experiments.report import render_matrix
+from repro.experiments.tables import TABLE3_METHODS, table3
+
+from bench_utils import BENCH_SCALE, format_paper_reference, save_and_print
+
+_PAPER_ROWS = [
+    "Bench   IAI    IAL    AGI    KBI    II",
+    "1       1.18   1.38   1.35   1.43   1.43",
+    "5       1.51   2.07   1.89   1.87   2.18",
+    "9       1.33   1.56   1.42   1.58   1.59",
+]
+
+# Table 3 runs nine full benchmarks; trim the per-benchmark size to keep
+# the bench's total runtime in the same ballpark as the figures.
+_SCALE = dict(BENCH_SCALE, queries_per_n=5)
+
+
+def run_table3():
+    return table3(**_SCALE)
+
+
+def test_table3_benchmark_variations(benchmark):
+    result = benchmark.pedantic(run_table3, rounds=1, iterations=1)
+    rows = sorted(result.rows)
+    text = render_matrix(
+        "Table 3: benchmark variations at 9N^2 (mean scaled cost)",
+        row_labels=[str(number) for number in rows],
+        column_labels=list(result.methods),
+        values=[[result.rows[n][m] for m in result.methods] for n in rows],
+        row_header="Bench",
+    )
+    text += "\n\n" + format_paper_reference(_PAPER_ROWS)
+    from repro.experiments.paperdata import TABLE3, ordering_agreement
+
+    agreements = [
+        ordering_agreement(TABLE3[number], result.rows[number])
+        for number in rows
+        if number in TABLE3
+    ]
+    mean_rho = sum(agreements) / len(agreements)
+    text += (
+        f"\n\nMean Spearman agreement with the paper's rows: {mean_rho:.2f}"
+        "\n(uninformative at this scale: the five methods tie within a few"
+        "\npercent per row, so their ranks are noise — see EXPERIMENTS.md)"
+    )
+    save_and_print("table3", text)
+
+    # Shape: IAI within 15% of the per-row best on (almost) every
+    # benchmark, and within the tie band on average across the nine
+    # (the paper has IAI winning outright; under the scaled-down unit
+    # budget the five methods compress into a band — see EXPERIMENTS.md).
+    off_pace = 0
+    for number in rows:
+        row = result.rows[number]
+        best = min(row.values())
+        if row["IAI"] > best * 1.15:
+            off_pace += 1
+    assert off_pace <= 1, f"IAI off the pace on {off_pace} benchmarks"
+
+    means = {
+        method: sum(result.rows[n][method] for n in rows) / len(rows)
+        for method in result.methods
+    }
+    assert means["IAI"] <= min(means.values()) * 1.08
+    assert set(result.methods) == set(TABLE3_METHODS)

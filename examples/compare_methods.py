@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Compare all nine of the paper's methods on one query.
+
+Runs II, SA, SAA, SAK, IAI, IKI, IAL, AGI, and KBI on the same 30-join
+query at increasing time limits and prints a small league table — a
+single-query miniature of the paper's Figure 4.
+
+Run:  python examples/compare_methods.py
+"""
+
+from repro import DEFAULT_SPEC, generate_query, optimize
+from repro.core.combinations import PAPER_METHODS
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+
+TIME_FACTORS = (0.3, 1.5, 9.0)
+
+
+def main() -> None:
+    query = generate_query(DEFAULT_SPEC, n_joins=30, seed=7)
+    n = query.n_joins
+    print(f"Query: {query} ({query.graph})")
+    print()
+
+    # One run per method at the largest limit; read smaller limits off
+    # the improvement trajectory (the harness's trick).
+    results = {
+        method: optimize(query, method=method, time_factor=max(TIME_FACTORS), seed=1)
+        for method in PAPER_METHODS
+    }
+    best_final = min(result.cost for result in results.values())
+
+    header = "method".ljust(8) + "".join(
+        f"{factor:g}N^2".rjust(12) for factor in TIME_FACTORS
+    )
+    print(header)
+    print("-" * len(header))
+    for method, result in sorted(results.items(), key=lambda kv: kv[1].cost):
+        cells = []
+        for factor in TIME_FACTORS:
+            units = factor * n * n * DEFAULT_UNITS_PER_N2
+            cost = result.best_cost_within(units)
+            cells.append(
+                "--".rjust(12)
+                if cost is None
+                else f"{cost / best_final:.2f}x".rjust(12)
+            )
+        print(method.ljust(8) + "".join(cells))
+    print()
+    print("(values are scaled costs: 1.00x = best solution found at 9N^2)")
+
+
+if __name__ == "__main__":
+    main()

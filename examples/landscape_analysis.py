@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Explore the solution-space landscape (the paper's §7 future work).
+
+The paper conjectures that the valid join-order space has "a large
+number of local minima, with a small but significant fraction of them
+being deep" — the property that makes multi-start iterative improvement
+so effective.  This example measures that directly:
+
+1. samples the cost distribution over random valid orders of a 20-join
+   query (how rare are good plans?), and
+2. exhaustively censuses the local minima of a small query under the
+   search move set (how many minima, how many deep?).
+
+Run:  python examples/landscape_analysis.py
+"""
+
+from repro import DEFAULT_SPEC, MainMemoryCostModel, generate_query
+from repro.experiments.landscape import (
+    local_minima_census,
+    sample_cost_distribution,
+    summarize,
+)
+
+
+def main() -> None:
+    model = MainMemoryCostModel()
+
+    query = generate_query(DEFAULT_SPEC, n_joins=20, seed=17)
+    print(f"Cost distribution over random valid orders — {query}")
+    costs = sample_cost_distribution(query.graph, model, n_samples=2000, seed=1)
+    summary = summarize(costs)
+    print(f"  samples            : {summary.n_samples}")
+    print(f"  min / median / max : {summary.minimum:,.0f} / "
+          f"{summary.median:,.0f} / {summary.maximum:,.0f}")
+    print(f"  spread (max/min)   : {summary.spread:,.0f}x")
+    print(f"  within 2x of best  : {summary.fraction_within_2x:.1%}")
+    print(f"  within 10x of best : {summary.fraction_within_10x:.1%}")
+    print()
+
+    small = generate_query(DEFAULT_SPEC, n_joins=6, seed=4)
+    print(f"Exhaustive local-minima census — {small}")
+    census = local_minima_census(small.graph, model)
+    print(f"  valid orders       : {census.n_valid_orders}")
+    print(f"  local minima       : {census.n_local_minima} "
+          f"({census.fraction_minima:.1%} of the space)")
+    print(f"  deep minima (<=2x) : {census.deep_minima(2.0)}")
+    print(f"  global minimum cost: {census.global_minimum:,.0f}")
+    print()
+    print(
+        "A heavy right tail with few deep minima is exactly the regime\n"
+        "where IAI's heuristic-seeded multi-start wins, matching the\n"
+        "paper's §6.4 explanation."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Star-shaped vs chain-shaped join graphs (benchmarks 8 and 9).
+
+The paper's §5 singles out star-like and chain-like join graphs as
+"important kinds of queries which are good tests of query optimizers":
+stars blow up the valid search space; chains shrink it.  This example
+generates both kinds, reports the search-space contrast, and shows how
+IAI copes with each.
+
+Run:  python examples/star_vs_chain.py
+"""
+
+from repro import benchmark_spec, generate_query, optimize
+
+
+def describe(kind: str, spec_number: int, seed: int) -> None:
+    spec = benchmark_spec(spec_number)
+    query = generate_query(spec, n_joins=25, seed=seed)
+    graph = query.graph
+    degrees = sorted(
+        (graph.degree(i) for i in range(graph.n_relations)), reverse=True
+    )
+    result = optimize(query, method="IAI", time_factor=9.0, seed=0)
+    baseline = optimize(query, method="SA", time_factor=9.0, seed=0)
+
+    print(f"{kind} join graph (benchmark {spec_number}, spec {spec.name!r})")
+    print(f"  relations          : {graph.n_relations}")
+    print(f"  join predicates    : {len(graph.predicates)}")
+    print(f"  top degrees        : {degrees[:5]}")
+    print(f"  IAI plan cost      : {result.cost:,.0f}")
+    print(f"  SA  plan cost      : {baseline.cost:,.0f}")
+    print(f"  SA / IAI           : {baseline.cost / result.cost:.2f}x")
+    print()
+
+
+def main() -> None:
+    describe("Star-like", spec_number=8, seed=5)
+    describe("Chain-like", spec_number=9, seed=5)
+    print(
+        "Stars concentrate many joins on a few hub relations (large\n"
+        "search space); chains force nearly linear orders (small search\n"
+        "space).  The paper finds IAI the method of choice on both."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,31 @@
+"""Catalog: relations, statistics, join predicates, and the join graph.
+
+This is the schema/statistics substrate the optimizer works against.  A
+:class:`~repro.catalog.join_graph.JoinGraph` plays the role of the query: it
+holds the joining relations (with cardinalities, selections, and per-join
+distinct-value statistics) and the join predicates linking them.
+"""
+
+from repro.catalog.relation import Relation, Selection
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.builder import QueryBuilder
+from repro.catalog.serialization import (
+    load_benchmark,
+    load_query,
+    save_benchmark,
+    save_query,
+)
+
+__all__ = [
+    "Relation",
+    "Selection",
+    "JoinPredicate",
+    "JoinGraph",
+    "Query",
+    "QueryBuilder",
+    "load_benchmark",
+    "load_query",
+    "save_benchmark",
+    "save_query",
+]

@@ -1,0 +1,71 @@
+"""A fluent builder for constructing queries by hand.
+
+The synthetic benchmark generator (:mod:`repro.workloads`) is the main way
+queries come into being; this builder exists for examples, tests, and users
+who want to pose a concrete query against the library.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+
+
+class QueryBuilder:
+    """Accumulates relations and join predicates, then builds a Query.
+
+    Example
+    -------
+    >>> builder = QueryBuilder("triangle")
+    >>> a = builder.relation("A", 1000)
+    >>> b = builder.relation("B", 500, selections=(0.1,))
+    >>> c = builder.relation("C", 2000)
+    >>> builder.join(a, b, left_distinct=100, right_distinct=50)
+    >>> builder.join(b, c, left_distinct=50, right_distinct=200)
+    >>> query = builder.build()
+    >>> query.n_joins
+    2
+    """
+
+    def __init__(self, name: str = "query") -> None:
+        self._name = name
+        self._relations: list[Relation] = []
+        self._predicates: list[JoinPredicate] = []
+
+    def relation(
+        self,
+        name: str,
+        cardinality: int,
+        selections: tuple[float, ...] = (),
+    ) -> int:
+        """Add a relation; returns its vertex index for use in ``join``."""
+        relation = Relation(name, cardinality).with_selections(*selections)
+        self._relations.append(relation)
+        return len(self._relations) - 1
+
+    def join(
+        self,
+        left: int,
+        right: int,
+        left_distinct: float | None = None,
+        right_distinct: float | None = None,
+    ) -> "QueryBuilder":
+        """Add a join predicate between two previously added relations.
+
+        Distinct-value counts default to the relation's effective
+        cardinality (i.e. the join column is a key).
+        """
+        if left_distinct is None:
+            left_distinct = self._relations[left].cardinality
+        if right_distinct is None:
+            right_distinct = self._relations[right].cardinality
+        self._predicates.append(
+            JoinPredicate(left, right, left_distinct, right_distinct)
+        )
+        return self
+
+    def build(self) -> Query:
+        """Construct the immutable :class:`Query`."""
+        graph = JoinGraph(self._relations, self._predicates)
+        return Query(graph=graph, name=self._name)

@@ -1,0 +1,71 @@
+"""Join predicates and their selectivities.
+
+A join predicate links two relations through one join column on each side.
+Following the paper (and System R practice), the join selectivity is
+
+    J_kl = 1 / max(D_k, D_l)
+
+where ``D_k`` and ``D_l`` are the numbers of distinct values in the join
+columns of relations ``k`` and ``l``.  The distinct-value counts are stored
+on the predicate because the paper draws them per join column (as a fraction
+of the relation cardinality), not per relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class JoinPredicate:
+    """An equi-join predicate between relations ``left`` and ``right``.
+
+    ``left``/``right`` are relation indices within a
+    :class:`~repro.catalog.join_graph.JoinGraph`; ``left_distinct`` and
+    ``right_distinct`` are the distinct-value counts of the join columns.
+    """
+
+    left: int
+    right: int
+    left_distinct: float
+    right_distinct: float
+
+    def __post_init__(self) -> None:
+        if self.left == self.right:
+            raise ValueError(f"self-join edge on relation {self.left}")
+        check_positive("left_distinct", self.left_distinct)
+        check_positive("right_distinct", self.right_distinct)
+
+    @property
+    def selectivity(self) -> float:
+        """Join selectivity ``J = 1 / max(D_left, D_right)``."""
+        return 1.0 / max(self.left_distinct, self.right_distinct)
+
+    def distinct_values(self, relation: int) -> float:
+        """Distinct values of the join column on ``relation``'s side."""
+        if relation == self.left:
+            return self.left_distinct
+        if relation == self.right:
+            return self.right_distinct
+        raise KeyError(f"relation {relation} is not an endpoint of {self}")
+
+    def other(self, relation: int) -> int:
+        """The endpoint other than ``relation``."""
+        if relation == self.left:
+            return self.right
+        if relation == self.right:
+            return self.left
+        raise KeyError(f"relation {relation} is not an endpoint of {self}")
+
+    @property
+    def endpoints(self) -> frozenset[int]:
+        return frozenset((self.left, self.right))
+
+    def __str__(self) -> str:
+        return (
+            f"R{self.left}.c(D={self.left_distinct:.0f}) = "
+            f"R{self.right}.c(D={self.right_distinct:.0f}) "
+            f"[J={self.selectivity:.2e}]"
+        )

@@ -1,0 +1,71 @@
+"""Base relations and their statistics.
+
+The paper characterises each joining relation by
+
+* its *cardinality* (number of tuples),
+* zero or more *selection predicates*, each with a selectivity, which
+  restrict the tuples participating in joins (the paper's ``N_k`` is the
+  cardinality **after** all applicable selections), and
+* the number of *distinct values* in each join column (kept on the join
+  predicate, see :mod:`repro.catalog.predicates`, because distinct-value
+  counts are per join column and the paper draws them per column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_fraction, check_positive
+
+
+@dataclass(frozen=True)
+class Selection:
+    """A selection predicate applied to a base relation.
+
+    Only the selectivity matters to the optimizer; the column name is kept
+    for display and for the execution engine.
+    """
+
+    selectivity: float
+    column: str = "attr"
+
+    def __post_init__(self) -> None:
+        check_fraction("selectivity", self.selectivity)
+
+
+@dataclass(frozen=True)
+class Relation:
+    """A base relation participating in the join query.
+
+    ``base_cardinality`` is the raw table size; :attr:`cardinality` is the
+    effective size after pushing down all selections — the quantity the
+    paper denotes ``N_k`` and every heuristic and cost model uses.
+    """
+
+    name: str
+    base_cardinality: int
+    selections: tuple[Selection, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        check_positive("base_cardinality", self.base_cardinality)
+
+    @property
+    def selectivity(self) -> float:
+        """Combined selectivity of all selections (1.0 when there are none)."""
+        result = 1.0
+        for selection in self.selections:
+            result *= selection.selectivity
+        return result
+
+    @property
+    def cardinality(self) -> float:
+        """Effective cardinality ``N_k`` after all selections (at least 1)."""
+        return max(1.0, self.base_cardinality * self.selectivity)
+
+    def with_selections(self, *selectivities: float) -> "Relation":
+        """Return a copy with the given selection selectivities appended."""
+        new = self.selections + tuple(Selection(s) for s in selectivities)
+        return Relation(self.name, self.base_cardinality, new)
+
+    def __str__(self) -> str:
+        return f"{self.name}(|{self.base_cardinality}| -> {self.cardinality:.1f})"

@@ -1,0 +1,120 @@
+"""JSON (de)serialization of queries and benchmarks.
+
+Synthetic benchmarks are cheap to regenerate from seeds, but sharing the
+*exact* query set alongside results is what makes an experiment
+portable.  The format is a plain JSON document with an explicit format
+version; everything the optimizer sees (cardinalities, selections,
+per-column distinct counts) round-trips exactly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation, Selection
+
+FORMAT_VERSION = 1
+
+
+def query_to_dict(query: Query) -> dict[str, Any]:
+    """A JSON-ready representation of ``query``."""
+    graph = query.graph
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": query.name,
+        "seed": query.seed,
+        "metadata": dict(query.metadata),
+        "relations": [
+            {
+                "name": relation.name,
+                "base_cardinality": relation.base_cardinality,
+                "selections": [
+                    {"selectivity": s.selectivity, "column": s.column}
+                    for s in relation.selections
+                ],
+            }
+            for relation in graph.relations
+        ],
+        "predicates": [
+            {
+                "left": predicate.left,
+                "right": predicate.right,
+                "left_distinct": predicate.left_distinct,
+                "right_distinct": predicate.right_distinct,
+            }
+            for predicate in graph.predicates
+        ],
+    }
+
+
+def query_from_dict(data: dict[str, Any]) -> Query:
+    """Rebuild a :class:`Query` from :func:`query_to_dict`'s output."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported query format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    relations = [
+        Relation(
+            entry["name"],
+            entry["base_cardinality"],
+            tuple(
+                Selection(s["selectivity"], s.get("column", "attr"))
+                for s in entry.get("selections", ())
+            ),
+        )
+        for entry in data["relations"]
+    ]
+    predicates = [
+        JoinPredicate(
+            entry["left"],
+            entry["right"],
+            entry["left_distinct"],
+            entry["right_distinct"],
+        )
+        for entry in data["predicates"]
+    ]
+    return Query(
+        graph=JoinGraph(relations, predicates),
+        name=data.get("name", "query"),
+        seed=data.get("seed"),
+        metadata=dict(data.get("metadata", {})),
+    )
+
+
+def save_query(query: Query, path: str | Path) -> None:
+    """Write one query as JSON."""
+    Path(path).write_text(
+        json.dumps(query_to_dict(query), indent=2), encoding="utf-8"
+    )
+
+
+def load_query(path: str | Path) -> Query:
+    """Read one query from JSON."""
+    return query_from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+
+def save_benchmark(queries: list[Query], path: str | Path) -> None:
+    """Write a whole benchmark (a list of queries) as JSON."""
+    document = {
+        "format_version": FORMAT_VERSION,
+        "queries": [query_to_dict(query) for query in queries],
+    }
+    Path(path).write_text(json.dumps(document, indent=2), encoding="utf-8")
+
+
+def load_benchmark(path: str | Path) -> list[Query]:
+    """Read a benchmark written by :func:`save_benchmark`."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = document.get("format_version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported benchmark format version {version!r} "
+            f"(this library reads version {FORMAT_VERSION})"
+        )
+    return [query_from_dict(entry) for entry in document["queries"]]

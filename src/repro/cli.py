@@ -1,0 +1,306 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``optimize``
+    Generate a synthetic query and optimize it with a chosen method.
+``compare``
+    Run several methods on one query and print a league table.
+``experiment``
+    Regenerate one of the paper's tables or figures at a chosen scale.
+``methods``
+    List the available optimization methods.
+``benchmarks``
+    List the synthetic benchmark variations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.core.combinations import PAPER_METHODS, available_method_names, make_strategy
+from repro.core.optimizer import optimize
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments import figures as figures_module
+from repro.experiments import tables as tables_module
+from repro.experiments.report import render_experiment, render_matrix
+from repro.workloads.benchmarks import benchmark_spec, benchmark_specs
+from repro.workloads.generator import generate_query
+
+_EXPERIMENTS = ("table1", "table2", "table3", "figure4", "figure5", "figure6", "figure7")
+
+
+def _cost_model(name: str):
+    if name == "memory":
+        return MainMemoryCostModel()
+    if name == "disk":
+        return DiskCostModel()
+    raise ValueError(f"unknown cost model {name!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Large join query optimization (Swami, SIGMOD 1988/1989)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--joins", type=int, default=20, help="number of joins N")
+    common.add_argument("--seed", type=int, default=0, help="random seed")
+    common.add_argument(
+        "--benchmark", type=int, default=0, help="benchmark variation 0..9"
+    )
+    common.add_argument(
+        "--model", choices=("memory", "disk"), default="memory", help="cost model"
+    )
+    common.add_argument(
+        "--time-factor", type=float, default=9.0, help="time limit factor k in kN^2"
+    )
+
+    cmd = sub.add_parser("optimize", parents=[common], help="optimize one query")
+    cmd.add_argument("--method", default="IAI", help="optimization method")
+    cmd.add_argument("--explain", action="store_true", help="print the join tree")
+
+    cmd = sub.add_parser("compare", parents=[common], help="compare methods")
+    cmd.add_argument(
+        "--methods",
+        nargs="+",
+        default=list(PAPER_METHODS),
+        help="methods to compare",
+    )
+
+    cmd = sub.add_parser(
+        "exact", parents=[common], help="exact optimum by dynamic programming"
+    )
+    cmd.add_argument(
+        "--max-relations",
+        type=int,
+        default=16,
+        help="refuse DP beyond this many relations",
+    )
+
+    cmd = sub.add_parser(
+        "landscape", parents=[common], help="cost distribution of random plans"
+    )
+    cmd.add_argument("--samples", type=int, default=1000)
+
+    cmd = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    cmd.add_argument("name", choices=_EXPERIMENTS + ("all",))
+    cmd.add_argument("--queries-per-n", type=int, default=4)
+    cmd.add_argument("--n-values", type=int, nargs="+", default=[20, 30])
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument(
+        "--units-per-n2", type=float, default=DEFAULT_UNITS_PER_N2 / 3
+    )
+
+    cmd = sub.add_parser("sql", help="optimize a SQL query against a catalog")
+    cmd.add_argument("query", help="SQL text (quote the whole query)")
+    cmd.add_argument(
+        "--catalog", required=True, help="path to a JSON statistics catalog"
+    )
+    cmd.add_argument("--method", default="IAI")
+    cmd.add_argument("--model", choices=("memory", "disk"), default="memory")
+    cmd.add_argument("--time-factor", type=float, default=9.0)
+    cmd.add_argument("--seed", type=int, default=0)
+    cmd.add_argument("--explain", action="store_true")
+
+    sub.add_parser("methods", help="list optimization methods")
+    sub.add_parser("benchmarks", help="list benchmark variations")
+    return parser
+
+
+def _cmd_optimize(args: argparse.Namespace) -> int:
+    spec = benchmark_spec(args.benchmark)
+    query = generate_query(spec, args.joins, args.seed)
+    result = optimize(
+        query,
+        method=args.method,
+        model=_cost_model(args.model),
+        time_factor=args.time_factor,
+        seed=args.seed,
+    )
+    print(f"query          : {query.name} (N={query.n_joins})")
+    print(f"method         : {result.method}")
+    print(f"plan cost      : {result.cost:,.0f}")
+    print(f"plans evaluated: {result.n_evaluations:,}")
+    print(f"join order     : {result.order}")
+    if args.explain:
+        print()
+        print(result.join_tree().explain())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    spec = benchmark_spec(args.benchmark)
+    query = generate_query(spec, args.joins, args.seed)
+    model = _cost_model(args.model)
+    results = {}
+    for method in args.methods:
+        make_strategy(method)  # validate the name before the long run
+        results[method] = optimize(
+            query,
+            method=method,
+            model=model,
+            time_factor=args.time_factor,
+            seed=args.seed,
+        )
+    best = min(result.cost for result in results.values())
+    ranked = sorted(results.items(), key=lambda kv: kv[1].cost)
+    print(
+        render_matrix(
+            f"{query.name}: scaled costs at {args.time_factor:g}N^2",
+            row_labels=[method for method, _ in ranked],
+            column_labels=["scaled", "evals"],
+            values=[
+                [result.cost / best, float(result.n_evaluations)]
+                for _, result in ranked
+            ],
+            row_header="method",
+        )
+    )
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    kwargs = dict(
+        n_values=tuple(args.n_values),
+        queries_per_n=args.queries_per_n,
+        units_per_n2=args.units_per_n2,
+        seed=args.seed,
+    )
+    if args.name == "all":
+        for name in _EXPERIMENTS:
+            sub_args = argparse.Namespace(**{**vars(args), "name": name})
+            _cmd_experiment(sub_args)
+            print()
+        return 0
+    if args.name == "table3":
+        result = tables_module.table3(**kwargs)
+        rows = sorted(result.rows)
+        print(
+            render_matrix(
+                "Table 3: benchmark variations at 9N^2",
+                row_labels=[str(n) for n in rows],
+                column_labels=list(result.methods),
+                values=[
+                    [result.rows[n][m] for m in result.methods] for n in rows
+                ],
+                row_header="Bench",
+            )
+        )
+        return 0
+    runner = {
+        "table1": tables_module.table1,
+        "table2": tables_module.table2,
+        "figure4": figures_module.figure4,
+        "figure5": figures_module.figure5,
+        "figure6": figures_module.figure6,
+        "figure7": figures_module.figure7,
+    }[args.name]
+    result = runner(**kwargs)
+    print(render_experiment(f"{args.name} (mean scaled cost)", result))
+    return 0
+
+
+def _cmd_exact(args: argparse.Namespace) -> int:
+    from repro.core.dynamic_programming import dp_optimal_order
+
+    spec = benchmark_spec(args.benchmark)
+    query = generate_query(spec, args.joins, args.seed)
+    result = dp_optimal_order(
+        query.graph, _cost_model(args.model), max_relations=args.max_relations
+    )
+    print(f"query            : {query.name} (N={query.n_joins})")
+    print(f"optimal order    : {result.order}")
+    print(f"static-world cost: {result.cost:,.2f}")
+    print(f"propagated cost  : {result.recost:,.2f}")
+    print(f"subsets explored : {result.n_subsets:,}")
+    print(f"cost evaluations : {result.n_cost_evaluations:,}")
+    return 0
+
+
+def _cmd_landscape(args: argparse.Namespace) -> int:
+    from repro.experiments.landscape import sample_cost_distribution, summarize
+
+    spec = benchmark_spec(args.benchmark)
+    query = generate_query(spec, args.joins, args.seed)
+    costs = sample_cost_distribution(
+        query.graph, _cost_model(args.model), args.samples, args.seed
+    )
+    summary = summarize(costs)
+    print(f"query              : {query.name} (N={query.n_joins})")
+    print(f"samples            : {summary.n_samples}")
+    print(f"min / median / max : {summary.minimum:,.0f} / "
+          f"{summary.median:,.0f} / {summary.maximum:,.0f}")
+    print(f"spread (max/min)   : {summary.spread:,.0f}x")
+    print(f"within 2x of best  : {summary.fraction_within_2x:.1%}")
+    print(f"within 10x of best : {summary.fraction_within_10x:.1%}")
+    return 0
+
+
+def _cmd_sql(args: argparse.Namespace) -> int:
+    from repro.frontend import StatsCatalog, parse_query
+
+    catalog = StatsCatalog.from_json(args.catalog)
+    query = parse_query(args.query, catalog)
+    result = optimize(
+        query,
+        method=args.method,
+        model=_cost_model(args.model),
+        time_factor=args.time_factor,
+        seed=args.seed,
+    )
+    print(f"relations : {query.graph.n_relations}  joins: {query.n_joins}")
+    print(f"method    : {result.method}")
+    print(f"plan cost : {result.cost:,.0f}")
+    print(f"join order: {result.order}")
+    if args.explain:
+        print()
+        print(result.join_tree().explain())
+    return 0
+
+
+def _cmd_methods() -> int:
+    for name in available_method_names():
+        print(f"{name:6s} {make_strategy(name).description}")
+    return 0
+
+
+def _cmd_benchmarks() -> int:
+    for number, spec in sorted(benchmark_specs().items()):
+        print(
+            f"{number}  {spec.name:18s} cutoff={spec.join_cutoff_probability:<5g}"
+            f" bias={spec.graph_bias}"
+        )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "optimize":
+        return _cmd_optimize(args)
+    if args.command == "compare":
+        return _cmd_compare(args)
+    if args.command == "exact":
+        return _cmd_exact(args)
+    if args.command == "landscape":
+        return _cmd_landscape(args)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    if args.command == "sql":
+        return _cmd_sql(args)
+    if args.command == "methods":
+        return _cmd_methods()
+    if args.command == "benchmarks":
+        return _cmd_benchmarks()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

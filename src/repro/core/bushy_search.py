@@ -1,0 +1,147 @@
+"""Iterative improvement over the bushy plan space.
+
+Together with :mod:`repro.plans.bushy`, this answers (at reproduction
+scale) the paper's open problem: *is the restriction to outer linear
+join trees justified?*  The move set is the classic transformation set
+over join trees:
+
+* **commute** — swap an internal node's children (``A ⋈ B → B ⋈ A``);
+* **rotate left / rotate right** — reassociate
+  (``(A ⋈ B) ⋈ C ↔ A ⋈ (B ⋈ C)``);
+
+which together make the whole valid bushy space reachable.  Moves that
+would create a cross product are rejected and redrawn, mirroring the
+linear move set's validity filtering.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.budget import Budget, BudgetExhausted
+from repro.cost.base import CostModel
+from repro.plans.bushy import (
+    BushyTree,
+    bushy_cost,
+    is_valid_bushy,
+    join,
+    random_bushy_tree,
+)
+
+
+class NoBushyMove(Exception):
+    """No valid bushy transformation could be drawn."""
+
+
+def _replace(tree: BushyTree, target: BushyTree, replacement: BushyTree) -> BushyTree:
+    """A copy of ``tree`` with the node ``target`` (by identity) replaced."""
+    if tree is target:
+        return replacement
+    if tree.is_leaf:
+        return tree
+    new_left = _replace(tree.left, target, replacement)
+    new_right = _replace(tree.right, target, replacement)
+    if new_left is tree.left and new_right is tree.right:
+        return tree
+    return join(new_left, new_right)
+
+
+def _transformations(node: BushyTree) -> list[BushyTree]:
+    """Every single-step transformation of ``node`` (may be invalid)."""
+    results = [join(node.right, node.left)]  # commute
+    if not node.left.is_leaf:
+        # rotate right: (A B) C -> A (B C)
+        results.append(join(node.left.left, join(node.left.right, node.right)))
+    if not node.right.is_leaf:
+        # rotate left: A (B C) -> (A B) C
+        results.append(join(join(node.left, node.right.left), node.right.right))
+    return results
+
+
+def random_bushy_neighbor(
+    tree: BushyTree,
+    graph: JoinGraph,
+    rng: random.Random,
+    max_tries: int = 64,
+) -> BushyTree:
+    """A random valid neighbor under {commute, rotate left/right}."""
+    internal = list(tree.internal_nodes())
+    if not internal:
+        raise NoBushyMove("a single-leaf tree has no neighbors")
+    for _ in range(max_tries):
+        node = rng.choice(internal)
+        candidate_node = rng.choice(_transformations(node))
+        candidate = _replace(tree, node, candidate_node)
+        if is_valid_bushy(candidate, graph):
+            return candidate
+    raise NoBushyMove(f"no valid bushy neighbor in {max_tries} tries")
+
+
+@dataclass(frozen=True)
+class BushyEvaluation:
+    tree: BushyTree
+    cost: float
+
+
+def bushy_improvement_run(
+    start: BushyTree,
+    graph: JoinGraph,
+    model: CostModel,
+    budget: Budget,
+    rng: random.Random,
+    patience: int | None = None,
+) -> BushyEvaluation:
+    """One iterative-improvement run in the bushy space.
+
+    Charges the budget one unit per join-cost evaluation (``n_joins``
+    per tree evaluation), like the linear evaluator.
+    """
+    if patience is None:
+        patience = max(16, 2 * graph.n_relations)
+    charge = float(graph.n_joins)
+    budget.charge(charge)
+    current = BushyEvaluation(start, bushy_cost(start, graph, model))
+    failures = 0
+    while failures < patience:
+        try:
+            neighbor = random_bushy_neighbor(current.tree, graph, rng)
+        except NoBushyMove:
+            break
+        try:
+            budget.charge(charge)
+        except BudgetExhausted:
+            # Anytime behaviour: the walk ends where the budget does.
+            return current
+        cost = bushy_cost(neighbor, graph, model)
+        if cost < current.cost:
+            current = BushyEvaluation(neighbor, cost)
+            failures = 0
+        else:
+            failures += 1
+    return current
+
+
+def bushy_iterative_improvement(
+    graph: JoinGraph,
+    model: CostModel,
+    budget: Budget,
+    rng: random.Random,
+    patience: int | None = None,
+) -> BushyEvaluation:
+    """Multi-start II over random valid bushy trees; best local minimum."""
+    best: BushyEvaluation | None = None
+    try:
+        while not budget.exhausted:
+            start = random_bushy_tree(graph, rng)
+            local = bushy_improvement_run(
+                start, graph, model, budget, rng, patience
+            )
+            if best is None or local.cost < best.cost:
+                best = local
+    except BudgetExhausted:
+        pass
+    if best is None:
+        raise BudgetExhausted("budget expired before any bushy tree was costed")
+    return best

@@ -1,0 +1,142 @@
+"""Exact left-deep dynamic programming (the System R baseline).
+
+The paper motivates the whole line of work by the infeasibility of
+System R-style dynamic programming beyond ~10 joins: the classic
+algorithm enumerates all subsets of relations (``O(2^N)`` space) and, for
+each, the best relation to join last.  This module implements exactly
+that algorithm over the library's outer-linear plan space, for three
+purposes:
+
+* an **exact optimum** for small queries, against which the heuristics
+  and search methods can be scored absolutely (tests and examples);
+* a demonstration of the blow-up that motivates the paper (the search is
+  budget-charged like every other method, so its cost is measurable in
+  the same units);
+* a correctness oracle: on tiny graphs its result must equal exhaustive
+  enumeration's.
+
+Cross products are avoided exactly as in the rest of the library: a
+relation may only extend a subset it joins with (per connected
+component; disconnected graphs are handled by the top-level
+``optimize``-style component split in :func:`dp_optimal_order`).
+
+The DP prices plans under the **classic static estimator**
+(:class:`~repro.cost.static.StaticCostModel` wrapping the given model):
+with distinct-value propagation, suffix costs depend on the prefix
+*order*, which breaks the Bellman principle the DP relies on; under the
+static estimator intermediate sizes are subset-determined and the DP is
+provably exact (tests verify it against full enumeration).
+``DPResult.cost`` is the static-world optimum; ``DPResult.recost``
+re-prices the chosen order under the original (propagating) model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.budget import Budget
+from repro.cost.base import CostModel
+from repro.cost.static import StaticCostModel
+from repro.plans.join_order import JoinOrder
+
+
+@dataclass(frozen=True)
+class DPResult:
+    """Outcome of the dynamic program.
+
+    ``cost`` is exact under the static estimator; ``recost`` is the same
+    order priced by the original model (propagation included).
+    """
+
+    order: JoinOrder
+    cost: float
+    recost: float
+    n_subsets: int
+    n_cost_evaluations: int
+
+
+def _neighbor_masks(graph: JoinGraph) -> list[int]:
+    """Per relation, the bitmask of its join-graph neighbors."""
+    neighbor_masks = []
+    for vertex in range(graph.n_relations):
+        mask = 0
+        for neighbor in graph.neighbors(vertex):
+            mask |= 1 << neighbor
+        neighbor_masks.append(mask)
+    return neighbor_masks
+
+
+def dp_optimal_order(
+    graph: JoinGraph,
+    model: CostModel,
+    budget: Budget | None = None,
+    max_relations: int = 20,
+) -> DPResult:
+    """The cheapest valid outer-linear order, by subset DP.
+
+    ``max_relations`` guards against accidentally launching a ``2^N``
+    computation on a large query (the paper's point); raise it explicitly
+    to push further.  The budget, when given, is charged one unit per
+    join-cost evaluation, i.e. ``len(subset)`` units per plan prefix
+    evaluation, comparable with the other methods' accounting.
+    """
+    n = graph.n_relations
+    if n > max_relations:
+        raise ValueError(
+            f"dynamic programming over {n} relations needs 2^{n} subsets; "
+            f"raise max_relations above {max_relations} to force it"
+        )
+    if not graph.is_connected:
+        raise ValueError("dp_optimal_order requires a connected graph")
+    if n == 1:
+        return DPResult(JoinOrder([0]), 0.0, 0.0, 1, 0)
+
+    static = model if isinstance(model, StaticCostModel) else StaticCostModel(model)
+    neighbor_masks = _neighbor_masks(graph)
+    # best[subset_mask] = (cost, order_tuple); grown breadth-first by
+    # subset size so every predecessor exists when needed.
+    best: dict[int, tuple[float, tuple[int, ...]]] = {}
+    for vertex in range(n):
+        best[1 << vertex] = (0.0, (vertex,))
+
+    n_cost_evaluations = 0
+    current_layer = list(best)
+    for _size in range(2, n + 1):
+        next_layer: list[int] = []
+        for subset in current_layer:
+            cost_so_far, order_so_far = best[subset]
+            # Extend with every relation adjacent to the subset.
+            candidates = 0
+            for vertex_index, vertex_mask in enumerate(neighbor_masks):
+                if subset & (1 << vertex_index):
+                    candidates |= vertex_mask
+            candidates &= ~subset
+            while candidates:
+                low_bit = candidates & -candidates
+                candidates ^= low_bit
+                vertex = low_bit.bit_length() - 1
+                new_subset = subset | low_bit
+                new_order = order_so_far + (vertex,)
+                # Evaluate the prefix cost exactly (propagation included).
+                if budget is not None:
+                    budget.charge(float(len(new_order) - 1))
+                prefix_cost = static.plan_cost(JoinOrder(new_order), graph)
+                n_cost_evaluations += len(new_order) - 1
+                known = best.get(new_subset)
+                if known is None or prefix_cost < known[0]:
+                    if known is None:
+                        next_layer.append(new_subset)
+                    best[new_subset] = (prefix_cost, new_order)
+        current_layer = next_layer
+
+    full = (1 << n) - 1
+    cost, order = best[full]
+    join_order = JoinOrder(order)
+    return DPResult(
+        order=join_order,
+        cost=cost,
+        recost=model.plan_cost(join_order, graph),
+        n_subsets=len(best),
+        n_cost_evaluations=n_cost_evaluations,
+    )

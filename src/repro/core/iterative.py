@@ -1,0 +1,96 @@
+"""Iterative improvement (the paper's Figure 1).
+
+A single run is the greedy walk: from a start state, repeatedly sample a
+random adjacent state and move to it when it is cheaper, until a local
+minimum is reached.  Checking *all* neighbors to certify a local minimum
+costs ``O(N^2)`` evaluations, so — as in the paper's lineage — the local
+minimum condition is approximated: a state is declared locally minimal
+after ``patience`` consecutive sampled neighbors fail to improve it.
+
+The multi-start driver lives in :mod:`repro.core.combinations`; this module
+provides the single run that every combination builds on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core.budget import BudgetExhausted
+from repro.core.moves import MoveSet, NoValidMove
+from repro.core.state import Evaluation, Evaluator
+from repro.plans.join_order import JoinOrder
+
+
+def default_patience(n_relations: int) -> int:
+    """Failed-neighbor streak that declares a local minimum.
+
+    Scales with the neighborhood size; floors at 16 so tiny queries still
+    sample a meaningful share of their neighborhoods.
+    """
+    return max(16, 2 * n_relations)
+
+
+def improvement_run(
+    start: JoinOrder,
+    evaluator: Evaluator,
+    move_set: MoveSet,
+    rng: random.Random,
+    patience: int | None = None,
+    start_cost: float | None = None,
+) -> Evaluation:
+    """One run of iterative improvement from ``start``.
+
+    Returns the local minimum reached (or the best state so far when the
+    budget expires mid-run — :class:`BudgetExhausted` propagates to the
+    caller *after* the evaluator has recorded everything evaluated).
+    """
+    if patience is None:
+        patience = default_patience(evaluator.graph.n_relations)
+    current = start
+    current_cost = (
+        evaluator.evaluate(start) if start_cost is None else start_cost
+    )
+    failures = 0
+    while failures < patience:
+        try:
+            neighbor = move_set.random_neighbor(current, evaluator.graph, rng)
+        except NoValidMove:
+            break
+        neighbor_cost = evaluator.evaluate(neighbor)
+        if neighbor_cost < current_cost:
+            current, current_cost = neighbor, neighbor_cost
+            failures = 0
+        else:
+            failures += 1
+    return Evaluation(current, current_cost)
+
+
+def multi_start_improvement(
+    starts,
+    evaluator: Evaluator,
+    move_set: MoveSet,
+    rng: random.Random,
+    patience: int | None = None,
+) -> Evaluation | None:
+    """Run iterative improvement from each start until the budget expires.
+
+    ``starts`` is an iterable (possibly infinite) of
+    :class:`~repro.plans.join_order.JoinOrder` start states.  Returns the
+    best local minimum found, or ``None`` when the budget expired before
+    the first evaluation (the evaluator's ``best`` is authoritative either
+    way).
+    """
+    best: Evaluation | None = None
+    try:
+        for start in starts:
+            local = improvement_run(
+                start, evaluator, move_set, rng, patience=patience
+            )
+            if best is None or local.cost < best.cost:
+                best = local
+    except BudgetExhausted:
+        pass
+    if evaluator.best is not None:
+        if best is None or evaluator.best.cost < best.cost:
+            best = evaluator.best
+    return best

@@ -1,0 +1,99 @@
+"""The move set over valid join orders (from the paper's [SG88]).
+
+A *move* perturbs one join order into an adjacent one.  Following SG88's
+swap-based move set (restated by its successors, e.g. Ioannidis & Kang),
+two move kinds are mixed:
+
+* **swap** — exchange the relations at two random positions;
+* **insert** — remove the relation at one position and reinsert it at
+  another (a cyclic shift of the span between them).
+
+Both kinds together make the whole valid space reachable.  A proposed
+neighbor that would introduce a cross product is rejected and the draw is
+retried; after ``max_tries`` failures the move generator gives up and
+raises :class:`NoValidMove` (which only happens on degenerate graphs whose
+valid space is a single order).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.catalog.join_graph import JoinGraph
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import is_valid_order
+from repro.utils.validation import check_probability
+
+
+class NoValidMove(Exception):
+    """No valid neighbor could be generated within the retry limit."""
+
+
+class MoveSet:
+    """Random valid-neighbor generation over join orders.
+
+    ``swap_probability`` selects between the two move kinds (the default
+    mixes them evenly); the remainder of the probability mass goes to
+    insert moves.
+    """
+
+    def __init__(self, swap_probability: float = 0.5, max_tries: int = 64) -> None:
+        self.swap_probability = check_probability(
+            "swap_probability", swap_probability
+        )
+        if max_tries < 1:
+            raise ValueError(f"max_tries must be >= 1, got {max_tries}")
+        self.max_tries = max_tries
+
+    def propose(self, order: JoinOrder, rng: random.Random) -> JoinOrder:
+        """One random perturbation, not yet validity-checked."""
+        n = len(order)
+        if n < 2:
+            raise NoValidMove("orders of length < 2 have no neighbors")
+        if rng.random() < self.swap_probability:
+            i, j = rng.sample(range(n), 2)
+            return order.swap(i, j)
+        source = rng.randrange(n)
+        target = rng.randrange(n - 1)
+        if target >= source:
+            target += 1
+        return order.insert(source, target)
+
+    def random_neighbor(
+        self, order: JoinOrder, graph: JoinGraph, rng: random.Random
+    ) -> JoinOrder:
+        """A random *valid* neighbor of ``order``.
+
+        Retries invalid proposals up to ``max_tries`` times.
+        """
+        for _ in range(self.max_tries):
+            candidate = self.propose(order, rng)
+            if candidate != order and is_valid_order(candidate, graph):
+                return candidate
+        raise NoValidMove(
+            f"no valid neighbor found in {self.max_tries} tries"
+        )
+
+    def neighbors(self, order: JoinOrder, graph: JoinGraph) -> Iterator[JoinOrder]:
+        """Every distinct valid neighbor (exhaustive — tests only)."""
+        n = len(order)
+        seen: set[JoinOrder] = set()
+        for i in range(n):
+            for j in range(i + 1, n):
+                candidate = order.swap(i, j)
+                if candidate not in seen and is_valid_order(candidate, graph):
+                    seen.add(candidate)
+                    yield candidate
+        for source in range(n):
+            for target in range(n):
+                if source == target:
+                    continue
+                candidate = order.insert(source, target)
+                if (
+                    candidate != order
+                    and candidate not in seen
+                    and is_valid_order(candidate, graph)
+                ):
+                    seen.add(candidate)
+                    yield candidate

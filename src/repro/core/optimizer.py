@@ -1,0 +1,212 @@
+"""The public entry point: ``optimize(query, method=...)``.
+
+Handles the pre-search heuristics the paper applies before the
+combinatorial search proper:
+
+* selections/projections are already folded into the catalog statistics
+  (``Relation.cardinality`` is the post-selection ``N_k``);
+* cross products are postponed: a disconnected join graph is split into
+  components, each optimized separately with a budget share proportional
+  to its ``N^2``, and the component orders are concatenated smallest
+  estimated result first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
+from repro.core.combinations import (
+    MethodParams,
+    available_method_names,
+    make_strategy,
+)
+from repro.core.state import Evaluator, TargetReached
+from repro.cost.base import CostModel
+from repro.cost.bounds import lower_bound
+from repro.cost.cardinality import prefix_cardinalities
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+from repro.plans.join_tree import JoinTree, build_join_tree
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class OptimizationResult:
+    """Outcome of one optimizer invocation."""
+
+    method: str
+    graph: JoinGraph
+    order: JoinOrder
+    cost: float
+    units_spent: float
+    n_evaluations: int
+    trajectory: tuple[tuple[float, float], ...]
+
+    def best_cost_within(self, units: float) -> float | None:
+        """Best cost known once ``units`` had been spent (trajectory read)."""
+        best = None
+        for spent, cost in self.trajectory:
+            if spent > units:
+                break
+            best = cost
+        return best
+
+    def join_tree(self) -> JoinTree:
+        """The outer-linear join tree of the chosen order."""
+        return build_join_tree(self.order, self.graph)
+
+
+def available_methods() -> list[str]:
+    """Method names accepted by :func:`optimize`."""
+    return available_method_names()
+
+
+def _optimize_connected(
+    graph: JoinGraph,
+    method: str,
+    model: CostModel,
+    budget: Budget,
+    seed: int,
+    params: MethodParams,
+    target_cost: float | None = None,
+) -> Evaluator:
+    """Run one strategy on a connected graph; returns its evaluator."""
+    strategy = make_strategy(method)
+    evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
+    rng = derive_rng(seed, "optimize", method, graph.n_relations)
+    if graph.n_relations == 1:
+        evaluator.best = None
+        return evaluator
+    try:
+        strategy.run(evaluator, rng, params)
+    except (BudgetExhausted, TargetReached):
+        pass
+    return evaluator
+
+
+def optimize(
+    query: Query | JoinGraph,
+    method: str = "IAI",
+    model: CostModel | None = None,
+    time_factor: float = 9.0,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    seed: int = 0,
+    budget: Budget | None = None,
+    params: MethodParams | None = None,
+    stop_at_bound: bool = False,
+    bound_tolerance: float = 1.05,
+) -> OptimizationResult:
+    """Optimize a join query with one of the paper's methods.
+
+    Parameters
+    ----------
+    query:
+        A :class:`~repro.catalog.join_graph.Query` or a bare join graph.
+    method:
+        One of :func:`available_methods` (``"IAI"`` is the paper's overall
+        winner and the default).
+    model:
+        Cost model; defaults to the main-memory model.
+    time_factor / units_per_n2:
+        The paper's time limit ``time_factor * N^2``, converted to work
+        units (see :mod:`repro.core.budget`).  Ignored when an explicit
+        ``budget`` is given.
+    seed:
+        Seed for the method's random choices (start states, moves).
+    stop_at_bound / bound_tolerance:
+        Enable the paper's early-stopping rule: stop as soon as a plan
+        costs at most ``bound_tolerance`` times the lower bound on the
+        optimum (see :func:`repro.cost.bounds.lower_bound`).
+    """
+    graph = query.graph if isinstance(query, Query) else query
+    if model is None:
+        model = MainMemoryCostModel()
+    if params is None:
+        params = MethodParams()
+    n_joins = max(1, graph.n_joins)
+    if budget is None:
+        budget = Budget.for_query(n_joins, time_factor, units_per_n2)
+    target_cost = (
+        bound_tolerance * lower_bound(graph, model) if stop_at_bound else None
+    )
+
+    if graph.is_connected:
+        evaluator = _optimize_connected(
+            graph, method, model, budget, seed, params, target_cost
+        )
+        if evaluator.best is None:
+            raise BudgetExhausted(
+                "budget expired before any plan could be evaluated"
+            )
+        return OptimizationResult(
+            method=method.upper(),
+            graph=graph,
+            order=evaluator.best.order,
+            cost=evaluator.best.cost,
+            units_spent=budget.spent,
+            n_evaluations=evaluator.n_evaluations,
+            trajectory=tuple(evaluator.trajectory),
+        )
+    return _optimize_disconnected(
+        graph, method, model, budget, seed, params
+    )
+
+
+def _optimize_disconnected(
+    graph: JoinGraph,
+    method: str,
+    model: CostModel,
+    budget: Budget,
+    seed: int,
+    params: MethodParams,
+) -> OptimizationResult:
+    """Postpone cross products: per-component search, then concatenation.
+
+    Each component gets a budget share proportional to its ``N^2`` (with a
+    floor so single-relation components cost nothing); component orders
+    are concatenated in increasing order of estimated component result
+    size, so the cross products at the end multiply small results first.
+    The reported cost re-evaluates the full concatenated order on the full
+    graph, pricing the cross products.
+    """
+    components = graph.components
+    weights = [max(1, len(c) - 1) ** 2 for c in components]
+    total_weight = sum(weights)
+    pieces: list[tuple[float, list[int]]] = []
+    n_evaluations = 0
+    for component, weight in zip(components, weights):
+        subgraph = graph.subgraph(component)
+        if subgraph.n_relations == 1:
+            pieces.append((subgraph.cardinality(0), list(component)))
+            continue
+        share = Budget(limit=max(1.0, budget.remaining * weight / total_weight))
+        result = optimize(
+            subgraph,
+            method=method,
+            model=model,
+            seed=seed,
+            budget=share,
+            params=params,
+        )
+        budget.spent = min(budget.limit, budget.spent + share.spent)
+        n_evaluations += result.n_evaluations
+        local_order = [component[i] for i in result.order]
+        sizes = prefix_cardinalities(result.order, subgraph)
+        pieces.append((sizes[-1], local_order))
+    pieces.sort(key=lambda piece: piece[0])
+    positions: list[int] = []
+    for _, piece in pieces:
+        positions.extend(piece)
+    order = JoinOrder(positions)
+    cost = model.plan_cost(order, graph)
+    return OptimizationResult(
+        method=method.upper(),
+        graph=graph,
+        order=order,
+        cost=cost,
+        units_spent=budget.spent,
+        n_evaluations=n_evaluations,
+        trajectory=((budget.spent, cost),),
+    )

@@ -1,0 +1,93 @@
+"""Budget-charging plan evaluation and best-solution tracking.
+
+Every optimizer funnels its cost evaluations through an :class:`Evaluator`,
+which charges the budget (one unit per join evaluated), keeps the best
+solution seen, and records the *trajectory* of improvements as
+``(units_spent, best_cost)`` pairs.  The trajectory is what makes one run
+at the largest time limit yield the results for every smaller limit — the
+same trick the paper's sweeps rely on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.budget import Budget
+from repro.cost.base import CostModel
+from repro.plans.join_order import JoinOrder
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """A join order together with its evaluated cost."""
+
+    order: JoinOrder
+    cost: float
+
+
+class TargetReached(Exception):
+    """The evaluator found a solution at or below its target cost.
+
+    Used for the paper's early-stopping rule: "the optimizer can stop if
+    it obtains a solution whose cost is sufficiently close to a lower
+    bound on the cost of the optimal solution."
+    """
+
+
+class Evaluator:
+    """Charges the budget for plan evaluations and tracks the best plan.
+
+    ``target_cost``, when set, raises :class:`TargetReached` as soon as a
+    solution at or below it has been recorded — optimizers treat it like
+    budget exhaustion and return the best solution found.
+    """
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        model: CostModel,
+        budget: Budget,
+        target_cost: float | None = None,
+    ) -> None:
+        self.graph = graph
+        self.model = model
+        self.budget = budget
+        self.target_cost = target_cost
+        self.n_evaluations = 0
+        self.best: Evaluation | None = None
+        self.trajectory: list[tuple[float, float]] = []
+
+    def evaluate(self, order: JoinOrder) -> float:
+        """Cost of ``order``; charges ``n_joins`` units; updates the best.
+
+        Raises :class:`~repro.core.budget.BudgetExhausted` when the budget
+        cannot pay for the evaluation, and :class:`TargetReached` when the
+        early-stopping target has been met.
+        """
+        self.budget.charge(float(self.graph.n_joins))
+        cost = self.model.plan_cost(order, self.graph)
+        self.n_evaluations += 1
+        self._record(order, cost)
+        if self.target_cost is not None and self.best.cost <= self.target_cost:
+            raise TargetReached(
+                f"solution cost {self.best.cost:.6g} at or below target "
+                f"{self.target_cost:.6g}"
+            )
+        return cost
+
+    def _record(self, order: JoinOrder, cost: float) -> None:
+        if self.best is None or cost < self.best.cost:
+            self.best = Evaluation(order, cost)
+            self.trajectory.append((self.budget.spent, cost))
+
+    def best_cost_within(self, units: float) -> float | None:
+        """Best cost found by the time ``units`` had been spent.
+
+        ``None`` when no solution had been evaluated that early.
+        """
+        index = bisect_right(self.trajectory, units, key=lambda point: point[0])
+        if index == 0:
+            return None
+        return self.trajectory[index - 1][1]

@@ -1,0 +1,157 @@
+"""Calibrate cost-model constants from engine measurements ([Swa89a]).
+
+The paper's main-memory model comes from Swami's *validated* cost model:
+constants measured on a real system.  This module reproduces that
+methodology against the bundled execution engine: run hash joins over a
+grid of operand sizes, measure them, and least-squares fit the
+``build/probe/output`` constants of
+:class:`~repro.cost.memory.MainMemoryCostModel`.
+
+The measurement function is injectable, so tests can validate the fit
+against synthetic timings with known ground truth, and users can plug in
+wall-clock timing of any engine.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.cost.memory import MainMemoryCostModel
+from repro.engine.operators import hash_join
+from repro.engine.table import Table
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class JoinObservation:
+    """One measured hash join: sizes and elapsed cost."""
+
+    outer_size: float
+    inner_size: float
+    result_size: float
+    measured: float
+
+
+#: Default grid of (outer, inner) sizes; matches stay plentiful so the
+#: output term is identifiable.
+DEFAULT_GRID: tuple[tuple[int, int], ...] = (
+    (500, 500),
+    (2000, 500),
+    (500, 2000),
+    (2000, 2000),
+    (4000, 1000),
+    (1000, 4000),
+    (4000, 4000),
+    (8000, 2000),
+)
+
+
+def _build_table(name: str, rows: int, distinct: int, seed: int) -> Table:
+    rng = derive_rng(seed, "calibration", name, rows)
+    return Table.from_dict(
+        name, {f"{name}_key": [rng.randrange(distinct) for _ in range(rows)]}
+    )
+
+
+def measure_hash_join(outer_size: int, inner_size: int, seed: int = 0) -> JoinObservation:
+    """Run one engine hash join and time it (wall clock)."""
+    distinct = max(2, min(outer_size, inner_size) // 4)
+    outer = _build_table("o", outer_size, distinct, seed)
+    inner = _build_table("i", inner_size, distinct, seed + 1)
+    start = time.perf_counter()
+    result = hash_join(outer, inner, [("o_key", "i_key")])
+    elapsed = time.perf_counter() - start
+    return JoinObservation(
+        outer_size=float(outer_size),
+        inner_size=float(inner_size),
+        result_size=float(result.n_rows),
+        measured=elapsed,
+    )
+
+
+def fit_constants(
+    observations: Sequence[JoinObservation],
+) -> tuple[float, float, float]:
+    """Least-squares fit of (build, probe, output) from observations.
+
+    Solves ``measured ≈ build*inner + probe*outer + output*result`` by
+    normal equations (no numpy dependency needed at this size); constants
+    are floored at a tiny positive value since the model requires
+    positive coefficients.
+    """
+    if len(observations) < 3:
+        raise ValueError("need at least three observations to fit three constants")
+    # Normal equations A^T A x = A^T b for A = [inner, outer, result].
+    rows = [
+        (o.inner_size, o.outer_size, o.result_size, o.measured)
+        for o in observations
+    ]
+    ata = [[0.0] * 3 for _ in range(3)]
+    atb = [0.0] * 3
+    for inner, outer, result, measured in rows:
+        features = (inner, outer, result)
+        for i in range(3):
+            atb[i] += features[i] * measured
+            for j in range(3):
+                ata[i][j] += features[i] * features[j]
+    solution = _solve_3x3(ata, atb)
+    floor = 1e-12
+    return tuple(max(value, floor) for value in solution)  # type: ignore[return-value]
+
+
+def _solve_3x3(matrix: list[list[float]], vector: list[float]) -> list[float]:
+    """Gaussian elimination with partial pivoting for a 3x3 system."""
+    a = [row[:] + [v] for row, v in zip(matrix, vector)]
+    n = 3
+    for column in range(n):
+        pivot = max(range(column, n), key=lambda r: abs(a[r][column]))
+        if abs(a[pivot][column]) < 1e-30:
+            raise ValueError("singular system: observations are degenerate")
+        a[column], a[pivot] = a[pivot], a[column]
+        for row in range(column + 1, n):
+            factor = a[row][column] / a[column][column]
+            for k in range(column, n + 1):
+                a[row][k] -= factor * a[column][k]
+    solution = [0.0] * n
+    for row in range(n - 1, -1, -1):
+        residual = a[row][n] - sum(
+            a[row][k] * solution[k] for k in range(row + 1, n)
+        )
+        solution[row] = residual / a[row][row]
+    return solution
+
+
+def calibrate_memory_model(
+    grid: Sequence[tuple[int, int]] = DEFAULT_GRID,
+    measure: Callable[[int, int], JoinObservation] | None = None,
+    repeats: int = 3,
+    scale: float = 1e6,
+) -> MainMemoryCostModel:
+    """Fit a :class:`MainMemoryCostModel` from engine measurements.
+
+    ``measure`` defaults to :func:`measure_hash_join`; each grid point is
+    measured ``repeats`` times and the minimum kept (standard practice
+    against scheduling noise).  ``scale`` converts seconds into
+    comfortable cost units (microseconds by default) — only the *ratios*
+    of the constants affect optimization decisions.
+    """
+    if measure is None:
+        measure = measure_hash_join
+    observations = []
+    for outer_size, inner_size in grid:
+        samples = [measure(outer_size, inner_size) for _ in range(repeats)]
+        best = min(samples, key=lambda o: o.measured)
+        observations.append(
+            JoinObservation(
+                best.outer_size,
+                best.inner_size,
+                best.result_size,
+                best.measured * scale,
+            )
+        )
+    build, probe, output = fit_constants(observations)
+    return MainMemoryCostModel(
+        build_cost=build, probe_cost=probe, output_cost=output
+    )

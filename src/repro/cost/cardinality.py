@@ -1,0 +1,187 @@
+"""Cardinality estimation with distinct-value propagation.
+
+Joining relation ``j`` into an intermediate result ``S`` of size ``|S|``
+yields an estimated
+
+    |S ⋈ j| = |S| * N_j * prod(J'_ij  over predicates linking j to S)
+
+with base join selectivity ``J_ij = 1 / max(D_i, D_j)``.
+
+**Distinct-value propagation.**  A column of an intermediate result cannot
+have more distinct values than the intermediate has tuples.  So when a
+small intermediate is produced early, the distinct counts of all columns
+it carries are *capped* at its size, and a later join through such a
+column sees an **effective** selectivity
+
+    J'_ij = 1 / max(min(D_i, cap_i), D_j)      >=  J_ij
+
+where ``cap_i`` is the smallest intermediate size since relation ``i``
+entered the plan.  This is the effect the paper leans on to explain why
+the min-selectivity criterion wins its Table 1: consuming the
+high-distinct (small ``J``) predicates early keeps distinct counts — and
+hence sizes — small *throughout* the plan, while greedily minimising the
+immediate result shrinks the caps and inflates every later join.
+
+:class:`PlanEstimator` is the single walker all cost models and plan
+builders share; the static helpers (no propagation) remain for tests and
+for the heuristics' own per-edge reasoning, which the paper defines on
+base-relation statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.plans.join_order import JoinOrder
+
+
+def combined_selectivity(predicates: Sequence[JoinPredicate]) -> float:
+    """Product of base selectivities (1.0 when empty: a cross product)."""
+    selectivity = 1.0
+    for predicate in predicates:
+        selectivity *= predicate.selectivity
+    return selectivity
+
+
+def join_result_cardinality(
+    outer_size: float,
+    inner_size: float,
+    predicates: Sequence[JoinPredicate],
+) -> float:
+    """Static estimate (no propagation) of one join's result size."""
+    estimate = outer_size * inner_size * combined_selectivity(predicates)
+    return max(1.0, estimate)
+
+
+@dataclass(frozen=True)
+class StepEstimate:
+    """Sizes around one join while walking a plan left to right."""
+
+    inner: int
+    predicates: tuple[JoinPredicate, ...]
+    outer_size: float
+    inner_size: float
+    result_size: float
+
+    @property
+    def is_cross_product(self) -> bool:
+        return not self.predicates
+
+
+class PlanEstimator:
+    """Left-to-right size estimation with distinct-value capping.
+
+    Create it with the first relation of the order, then call
+    :meth:`step` once per subsequent relation.  Caps are maintained only
+    for *open* relations (placed relations that still have predicates to
+    unplaced ones), keeping each step near-linear in the frontier size.
+    """
+
+    def __init__(self, graph: JoinGraph, first: int) -> None:
+        self.graph = graph
+        self.placed: list[int] = [first]
+        self.size: float = graph.cardinality(first)
+        self._caps: dict[int, float] = {}
+        self._unplaced_neighbors: dict[int, int] = {}
+        self._placed_set = {first}
+        self._cardinalities = [
+            relation.cardinality for relation in graph.relations
+        ]
+        remaining = graph.degree(first)
+        if remaining:
+            self._caps[first] = self.size
+            self._unplaced_neighbors[first] = remaining
+
+    def effective_selectivity(self, predicates: Sequence[JoinPredicate], inner: int) -> float:
+        """Product of capped selectivities for joining ``inner`` now."""
+        selectivity = 1.0
+        for predicate in predicates:
+            outer_side = predicate.other(inner)
+            outer_distinct = min(
+                predicate.distinct_values(outer_side),
+                self._caps.get(outer_side, float("inf")),
+            )
+            inner_distinct = predicate.distinct_values(inner)
+            selectivity *= 1.0 / max(outer_distinct, inner_distinct, 1.0)
+        return selectivity
+
+    def step(self, inner: int) -> StepEstimate:
+        """Join ``inner`` into the running intermediate; update caps."""
+        placed_set = self._placed_set
+        if inner in placed_set:
+            raise ValueError(f"relation {inner} already placed")
+        caps = self._caps
+        unplaced_neighbors = self._unplaced_neighbors
+        selectivity = 1.0
+        predicates: list[JoinPredicate] = []
+        open_inner = 0
+        for neighbor, predicate in self.graph.adjacency(inner).items():
+            if neighbor not in placed_set:
+                open_inner += 1
+                continue
+            predicates.append(predicate)
+            if neighbor == predicate.left:
+                outer_distinct = predicate.left_distinct
+                inner_distinct = predicate.right_distinct
+            else:
+                outer_distinct = predicate.right_distinct
+                inner_distinct = predicate.left_distinct
+            cap = caps.get(neighbor)
+            if cap is not None and cap < outer_distinct:
+                outer_distinct = cap
+            larger = max(outer_distinct, inner_distinct, 1.0)
+            selectivity *= 1.0 / larger
+            # The outer side of this predicate has one fewer unplaced edge.
+            count = unplaced_neighbors.get(neighbor, 0) - 1
+            if count <= 0:
+                unplaced_neighbors.pop(neighbor, None)
+                caps.pop(neighbor, None)
+            else:
+                unplaced_neighbors[neighbor] = count
+
+        inner_size = self._cardinalities[inner]
+        outer_size = self.size
+        result = outer_size * inner_size * selectivity
+        if result < 1.0:
+            result = 1.0
+
+        if open_inner:
+            unplaced_neighbors[inner] = open_inner
+            caps[inner] = min(inner_size, result)
+        # The new intermediate caps every open column at its size.
+        for relation, cap in caps.items():
+            if cap > result:
+                caps[relation] = result
+
+        self.placed.append(inner)
+        placed_set.add(inner)
+        self.size = result
+        return StepEstimate(
+            inner=inner,
+            predicates=tuple(predicates),
+            outer_size=outer_size,
+            inner_size=inner_size,
+            result_size=result,
+        )
+
+
+def walk_plan(order: JoinOrder, graph: JoinGraph) -> list[StepEstimate]:
+    """All step estimates of a full order (propagating estimator)."""
+    estimator = PlanEstimator(graph, order[0])
+    return [estimator.step(order[position]) for position in range(1, len(order))]
+
+
+def prefix_cardinalities(order: JoinOrder, graph: JoinGraph) -> list[float]:
+    """Estimated sizes of every prefix of the order (with propagation).
+
+    Element 0 is the first relation's cardinality; element ``k`` is the
+    intermediate after ``k`` joins.  The list has ``len(order)`` entries.
+    """
+    estimator = PlanEstimator(graph, order[0])
+    sizes = [estimator.size]
+    for position in range(1, len(order)):
+        sizes.append(estimator.step(order[position]).result_size)
+    return sizes

@@ -1,0 +1,34 @@
+"""A small in-memory relational execution engine.
+
+The paper's optimizer never executes plans — its experiments compare
+estimated costs.  This engine exists to close the loop a real system
+would: generate data matching the catalog statistics
+(:mod:`repro.engine.datagen`), execute an optimized join tree with real
+hash joins (:mod:`repro.engine.executor`), and check that estimated
+intermediate sizes track measured ones.
+"""
+
+from repro.engine.table import Column, Table
+from repro.engine.operators import (
+    hash_join,
+    merge_join,
+    nested_loop_join,
+    project,
+    select,
+)
+from repro.engine.datagen import generate_database
+from repro.engine.executor import ExecutionResult, execute_bushy, execute_order
+
+__all__ = [
+    "Column",
+    "Table",
+    "hash_join",
+    "merge_join",
+    "nested_loop_join",
+    "select",
+    "project",
+    "generate_database",
+    "ExecutionResult",
+    "execute_bushy",
+    "execute_order",
+]

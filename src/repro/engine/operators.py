@@ -1,0 +1,170 @@
+"""Physical operators: selection, projection, and the three join methods.
+
+The hash join is the classic build/probe: build a hash table on the inner
+table's join column(s), probe with the outer.  Multi-column joins (a
+relation linked to the outer side through several predicates, as happens
+in cyclic join graphs) key the hash table on the tuple of join values.
+
+The nested-loop and sort-merge joins implement the same equi-join
+semantics (matching :mod:`repro.cost.methods`' cost models); all three
+produce identical result *sets* — only row order may differ.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Callable, Sequence
+
+from repro.engine.table import Column, Table
+
+
+def select(table: Table, column: str, predicate: Callable[[int], bool]) -> Table:
+    """Rows of ``table`` whose ``column`` value satisfies ``predicate``."""
+    values = table.column(column).values
+    keep = [i for i, value in enumerate(values) if predicate(value)]
+    return table.take(keep)
+
+
+def project(table: Table, columns: Sequence[str], name: str | None = None) -> Table:
+    """Only the named columns of ``table``."""
+    return Table(
+        name or table.name, [table.column(column) for column in columns]
+    )
+
+
+def hash_join(
+    outer: Table,
+    inner: Table,
+    join_columns: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Hash join ``outer`` with ``inner`` on ``(outer_col, inner_col)`` pairs.
+
+    An empty ``join_columns`` is a cross product.  Output columns are the
+    union of both sides' columns; the inner side must not share column
+    names with the outer (the data generator namespaces columns by
+    relation, so this holds by construction).
+    """
+    _check_disjoint_columns(outer, inner)
+
+    outer_rows: list[int] = []
+    inner_rows: list[int] = []
+    if join_columns:
+        inner_keys = [inner.column(ic).values for _, ic in join_columns]
+        table: dict[tuple[int, ...], list[int]] = defaultdict(list)
+        for row in range(inner.n_rows):
+            table[tuple(keys[row] for keys in inner_keys)].append(row)
+        outer_keys = [outer.column(oc).values for oc, _ in join_columns]
+        for row in range(outer.n_rows):
+            key = tuple(keys[row] for keys in outer_keys)
+            for match in table.get(key, ()):
+                outer_rows.append(row)
+                inner_rows.append(match)
+    else:
+        for outer_row in range(outer.n_rows):
+            for inner_row in range(inner.n_rows):
+                outer_rows.append(outer_row)
+                inner_rows.append(inner_row)
+
+    return _materialize(outer, inner, outer_rows, inner_rows, name)
+
+
+def _materialize(
+    outer: Table,
+    inner: Table,
+    outer_rows: list[int],
+    inner_rows: list[int],
+    name: str | None,
+) -> Table:
+    """Build the joined table from matched row-index pairs."""
+    columns = [
+        Column(c.name, tuple(c.values[i] for i in outer_rows))
+        for c in (outer.column(n) for n in outer.column_names)
+    ]
+    columns.extend(
+        Column(c.name, tuple(c.values[i] for i in inner_rows))
+        for c in (inner.column(n) for n in inner.column_names)
+    )
+    return Table(name or f"({outer.name}*{inner.name})", columns)
+
+
+def _check_disjoint_columns(outer: Table, inner: Table) -> None:
+    overlap = set(outer.column_names) & set(inner.column_names)
+    if overlap:
+        raise ValueError(f"join sides share column names: {sorted(overlap)}")
+
+
+def nested_loop_join(
+    outer: Table,
+    inner: Table,
+    join_columns: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Tuple-at-a-time nested-loops equi-join (cross product when no
+    join columns are given).  Semantics identical to :func:`hash_join`."""
+    _check_disjoint_columns(outer, inner)
+    outer_keys = [outer.column(oc).values for oc, _ in join_columns]
+    inner_keys = [inner.column(ic).values for _, ic in join_columns]
+    outer_rows: list[int] = []
+    inner_rows: list[int] = []
+    for outer_row in range(outer.n_rows):
+        outer_key = tuple(keys[outer_row] for keys in outer_keys)
+        for inner_row in range(inner.n_rows):
+            if outer_key == tuple(keys[inner_row] for keys in inner_keys):
+                outer_rows.append(outer_row)
+                inner_rows.append(inner_row)
+    return _materialize(outer, inner, outer_rows, inner_rows, name)
+
+
+def merge_join(
+    outer: Table,
+    inner: Table,
+    join_columns: Sequence[tuple[str, str]],
+    name: str | None = None,
+) -> Table:
+    """Sort-merge equi-join: sort both sides on the key, merge runs.
+
+    Requires at least one join column (use :func:`hash_join` or
+    :func:`nested_loop_join` for cross products).
+    """
+    _check_disjoint_columns(outer, inner)
+    if not join_columns:
+        raise ValueError("merge_join requires at least one join column")
+    outer_keys = [outer.column(oc).values for oc, _ in join_columns]
+    inner_keys = [inner.column(ic).values for _, ic in join_columns]
+    outer_sorted = sorted(
+        range(outer.n_rows), key=lambda r: tuple(k[r] for k in outer_keys)
+    )
+    inner_sorted = sorted(
+        range(inner.n_rows), key=lambda r: tuple(k[r] for k in inner_keys)
+    )
+
+    def outer_key(position: int) -> tuple[int, ...]:
+        row = outer_sorted[position]
+        return tuple(k[row] for k in outer_keys)
+
+    def inner_key(position: int) -> tuple[int, ...]:
+        row = inner_sorted[position]
+        return tuple(k[row] for k in inner_keys)
+
+    outer_rows: list[int] = []
+    inner_rows: list[int] = []
+    i = j = 0
+    while i < len(outer_sorted) and j < len(inner_sorted):
+        left, right = outer_key(i), inner_key(j)
+        if left < right:
+            i += 1
+        elif left > right:
+            j += 1
+        else:
+            # A run of equal keys on both sides: emit the cross pairs.
+            run_end = j
+            while run_end < len(inner_sorted) and inner_key(run_end) == right:
+                run_end += 1
+            while i < len(outer_sorted) and outer_key(i) == left:
+                for position in range(j, run_end):
+                    outer_rows.append(outer_sorted[i])
+                    inner_rows.append(inner_sorted[position])
+                i += 1
+            j = run_end
+    return _materialize(outer, inner, outer_rows, inner_rows, name)

@@ -1,0 +1,87 @@
+"""Columnar in-memory tables.
+
+A :class:`Table` is a set of named columns of equal length.  Columns hold
+Python ints (join keys) — enough for hash joins over synthetic data, with
+no external dependencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named column of values."""
+
+    name: str
+    values: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+class Table:
+    """An immutable columnar table."""
+
+    def __init__(self, name: str, columns: Sequence[Column]) -> None:
+        if columns:
+            lengths = {len(column) for column in columns}
+            if len(lengths) > 1:
+                raise ValueError(
+                    f"columns of table {name!r} have differing lengths: {lengths}"
+                )
+        names = [column.name for column in columns]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in table {name!r}: {names}")
+        self.name = name
+        self._columns = {column.name: column for column in columns}
+        self._n_rows = len(columns[0]) if columns else 0
+
+    @classmethod
+    def from_dict(cls, name: str, data: dict[str, Iterable[int]]) -> "Table":
+        return cls(
+            name,
+            [Column(column, tuple(values)) for column, values in data.items()],
+        )
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> Column:
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise KeyError(
+                f"table {self.name!r} has no column {name!r}; "
+                f"available: {self.column_names}"
+            ) from None
+
+    def has_column(self, name: str) -> bool:
+        return name in self._columns
+
+    def row(self, index: int) -> dict[str, int]:
+        """One row as a dict (debugging/tests; not a hot path)."""
+        return {
+            name: column.values[index] for name, column in self._columns.items()
+        }
+
+    def take(self, row_indices: Sequence[int], name: str | None = None) -> "Table":
+        """A new table with the given rows, in order."""
+        columns = [
+            Column(
+                column.name,
+                tuple(column.values[i] for i in row_indices),
+            )
+            for column in self._columns.values()
+        ]
+        return Table(name or self.name, columns)
+
+    def __str__(self) -> str:
+        return f"Table({self.name}, {self.n_rows} rows, {self.column_names})"

@@ -1,0 +1,97 @@
+"""Convergence curves: mean best-known cost as a function of work spent.
+
+The tables and figures report solution quality at a handful of time
+limits; the underlying trajectories contain the whole anytime profile.
+This module aggregates per-run trajectories into a mean scaled-cost
+curve over a uniform grid of work units — the data behind plots like the
+paper's figures, at arbitrary resolution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import Query
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.core.optimizer import optimize
+from repro.cost.base import CostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.scaling import OUTLIER_CAP, coerce_outlier
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ConvergenceCurve:
+    """Mean scaled cost sampled on a uniform time-factor grid."""
+
+    method: str
+    factors: tuple[float, ...]
+    mean_scaled: tuple[float, ...]
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.factors, self.mean_scaled))
+
+    def final(self) -> float:
+        return self.mean_scaled[-1]
+
+
+def convergence_curves(
+    queries: list[Query],
+    methods: tuple[str, ...],
+    max_factor: float = 9.0,
+    n_points: int = 24,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    model: CostModel | None = None,
+    seed: int = 0,
+) -> dict[str, ConvergenceCurve]:
+    """One anytime curve per method over ``queries``.
+
+    Each (query, method) pair is optimized once at ``max_factor``; the
+    trajectory yields the best-known cost at every grid point.  Costs are
+    scaled per query by the best final cost across methods and coerced at
+    the outlier cap; a method with no solution yet at a grid point
+    contributes the cap.
+    """
+    if n_points < 2:
+        raise ValueError("n_points must be >= 2")
+    if model is None:
+        model = MainMemoryCostModel()
+    factors = tuple(
+        max_factor * (index + 1) / n_points for index in range(n_points)
+    )
+    runs = {
+        (query.name, method): optimize(
+            query,
+            method=method,
+            model=model,
+            time_factor=max_factor,
+            units_per_n2=units_per_n2,
+            seed=derive_seed(seed, "convergence", query.name, method),
+        )
+        for query in queries
+        for method in methods
+    }
+    curves: dict[str, ConvergenceCurve] = {}
+    best_final = {
+        query.name: min(runs[(query.name, method)].cost for method in methods)
+        for query in queries
+    }
+    for method in methods:
+        means = []
+        for factor in factors:
+            scaled_values = []
+            for query in queries:
+                n = max(1, query.n_joins)
+                units = factor * n * n * units_per_n2
+                cost = runs[(query.name, method)].best_cost_within(units)
+                if cost is None:
+                    scaled_values.append(OUTLIER_CAP)
+                else:
+                    scaled_values.append(
+                        coerce_outlier(cost / best_final[query.name])
+                    )
+            means.append(sum(scaled_values) / len(scaled_values))
+        curves[method] = ConvergenceCurve(
+            method=method, factors=factors, mean_scaled=tuple(means)
+        )
+    return curves

@@ -1,0 +1,151 @@
+"""Reproduction of the paper's Figures 4, 5, 6, and 7.
+
+Each figure function returns an
+:class:`~repro.experiments.runner.ExperimentResult` whose per-method series
+(mean scaled cost vs time factor) are the figure's curves.  Defaults are
+scaled down from the paper's 250/500-query benchmarks; pass the paper's
+parameters for a full-scale run.
+"""
+
+from __future__ import annotations
+
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.core.combinations import PAPER_METHODS, TOP_FIVE_METHODS
+from repro.cost.base import CostModel
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+
+#: Time-limit grid of the full-range figures (multiples of N^2).
+FIGURE_TIME_FACTORS = (0.3, 0.75, 1.5, 3.0, 6.0, 9.0)
+
+#: Finer small-limit grid of Figure 6; 9.0 anchors the scaling base.
+SMALL_TIME_FACTORS = (0.3, 0.6, 0.9, 1.2, 1.5, 1.8, 2.4, 9.0)
+
+
+def _run(
+    methods: tuple[str, ...],
+    time_factors: tuple[float, ...],
+    model: CostModel,
+    n_values: tuple[int, ...],
+    queries_per_n: int,
+    units_per_n2: float,
+    replicates: int,
+    seed: int,
+) -> ExperimentResult:
+    queries = generate_benchmark(
+        DEFAULT_SPEC, n_values=n_values, queries_per_n=queries_per_n, seed=seed
+    )
+    config = ExperimentConfig(
+        methods=methods,
+        time_factors=time_factors,
+        model=model,
+        units_per_n2=units_per_n2,
+        replicates=replicates,
+        seed=seed,
+    )
+    return run_experiment(queries, config)
+
+
+def figure4(
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 4,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Figure 4: all nine methods on the default benchmark.
+
+    Paper scale: ``n_values=(10, 20, 30, 40, 50)``, ``queries_per_n=50``.
+    """
+    return _run(
+        PAPER_METHODS,
+        FIGURE_TIME_FACTORS,
+        model or MainMemoryCostModel(),
+        n_values,
+        queries_per_n,
+        units_per_n2,
+        replicates,
+        seed,
+    )
+
+
+def figure5(
+    n_values: tuple[int, ...] = (10, 25, 40),
+    queries_per_n: int = 4,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Figure 5: the top five methods on the larger benchmark.
+
+    Paper scale: ``n_values=(10, 20, ..., 100)``, ``queries_per_n=50``.
+    """
+    return _run(
+        TOP_FIVE_METHODS,
+        FIGURE_TIME_FACTORS,
+        model or MainMemoryCostModel(),
+        n_values,
+        queries_per_n,
+        units_per_n2,
+        replicates,
+        seed,
+    )
+
+
+def figure6(
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 6,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Figure 6: IAI vs AGI vs II at small time limits.
+
+    The interesting artifact is the crossover: AGI is the method of choice
+    at the smallest limits; IAI overtakes it as time grows (around
+    ``1.8 N^2`` in the paper).
+    """
+    return _run(
+        ("IAI", "AGI", "II"),
+        SMALL_TIME_FACTORS,
+        model or MainMemoryCostModel(),
+        n_values,
+        queries_per_n,
+        units_per_n2,
+        replicates,
+        seed,
+    )
+
+
+def figure7(
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 4,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Figure 7: the top five methods under the disk cost model.
+
+    The paper's point is that the method ordering is unchanged when the
+    main-memory model is swapped for the disk-based one.
+    """
+    return _run(
+        TOP_FIVE_METHODS,
+        FIGURE_TIME_FACTORS,
+        model or DiskCostModel(),
+        n_values,
+        queries_per_n,
+        units_per_n2,
+        replicates,
+        seed,
+    )

@@ -1,0 +1,135 @@
+"""Solution-space landscape analysis (the paper's §7 future work).
+
+The paper closes with: *"The distribution of solution costs in the space
+of valid solutions is of interest and is being investigated"*, and its
+§6.4 discussion conjectures that the space has *"a large number of local
+minima, with a small but significant fraction of them being deep local
+minima"*.  This module provides the instruments for that investigation:
+
+* :func:`sample_cost_distribution` — the cost distribution over random
+  valid join orders;
+* :func:`local_minima_census` — an exhaustive census of local minima
+  (and how deep they are) on small graphs, under the search move set;
+* :func:`summarize` — descriptive statistics of a cost sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.moves import MoveSet
+from repro.cost.base import CostModel
+from repro.plans.validity import random_valid_order, valid_orders
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class LandscapeSummary:
+    """Descriptive statistics of a solution-cost sample."""
+
+    n_samples: int
+    minimum: float
+    maximum: float
+    mean: float
+    median: float
+    fraction_within_2x: float
+    fraction_within_10x: float
+
+    @property
+    def spread(self) -> float:
+        """max/min — how many orders of magnitude the space spans."""
+        return self.maximum / self.minimum if self.minimum > 0 else math.inf
+
+
+def sample_cost_distribution(
+    graph: JoinGraph,
+    model: CostModel,
+    n_samples: int = 1000,
+    seed: int = 0,
+) -> list[float]:
+    """Costs of ``n_samples`` random valid join orders (sorted)."""
+    if n_samples < 1:
+        raise ValueError("n_samples must be >= 1")
+    rng = derive_rng(seed, "landscape", graph.n_relations)
+    costs = [
+        model.plan_cost(random_valid_order(graph, rng), graph)
+        for _ in range(n_samples)
+    ]
+    costs.sort()
+    return costs
+
+
+def summarize(costs: list[float]) -> LandscapeSummary:
+    """Descriptive statistics of a (sorted or unsorted) cost sample."""
+    if not costs:
+        raise ValueError("cannot summarize an empty sample")
+    ordered = sorted(costs)
+    n = len(ordered)
+    minimum = ordered[0]
+    median = (
+        ordered[n // 2]
+        if n % 2
+        else (ordered[n // 2 - 1] + ordered[n // 2]) / 2
+    )
+    return LandscapeSummary(
+        n_samples=n,
+        minimum=minimum,
+        maximum=ordered[-1],
+        mean=sum(ordered) / n,
+        median=median,
+        fraction_within_2x=sum(1 for c in ordered if c <= 2 * minimum) / n,
+        fraction_within_10x=sum(1 for c in ordered if c <= 10 * minimum) / n,
+    )
+
+
+@dataclass(frozen=True)
+class MinimaCensus:
+    """Exhaustive census of local minima on a small graph."""
+
+    n_valid_orders: int
+    n_local_minima: int
+    global_minimum: float
+    minima_costs: tuple[float, ...]
+
+    @property
+    def fraction_minima(self) -> float:
+        return self.n_local_minima / self.n_valid_orders
+
+    def deep_minima(self, factor: float = 2.0) -> int:
+        """Local minima within ``factor`` of the global minimum."""
+        return sum(1 for c in self.minima_costs if c <= factor * self.global_minimum)
+
+
+def local_minima_census(
+    graph: JoinGraph,
+    model: CostModel,
+    move_set: MoveSet | None = None,
+) -> MinimaCensus:
+    """Enumerate every valid order and classify local minima.
+
+    A state is a local minimum when no neighbor under the move set has
+    strictly lower cost.  Exponential in the number of relations — meant
+    for graphs of at most ~8 relations.
+    """
+    if move_set is None:
+        move_set = MoveSet()
+    orders = list(valid_orders(graph))
+    if not orders:
+        raise ValueError("graph has no valid orders")
+    costs = {order: model.plan_cost(order, graph) for order in orders}
+    minima_costs = []
+    for order, cost in costs.items():
+        if all(
+            costs.get(neighbor, math.inf) >= cost
+            for neighbor in move_set.neighbors(order, graph)
+        ):
+            minima_costs.append(cost)
+    minima_costs.sort()
+    return MinimaCensus(
+        n_valid_orders=len(orders),
+        n_local_minima=len(minima_costs),
+        global_minimum=min(costs.values()),
+        minima_costs=tuple(minima_costs),
+    )

@@ -1,0 +1,95 @@
+"""The paper's published numbers, as structured data.
+
+Having the originals in code lets the harness print measured results
+next to them and compute a quantitative agreement score: Spearman rank
+correlation between the paper's method ordering and the reproduction's,
+per artifact.  (Absolute values are not comparable across a 1988 testbed
+and this simulator; orderings are.)
+"""
+
+from __future__ import annotations
+
+#: Table 1 — augmentation chooseNext criteria, mean scaled costs.
+TABLE1: dict[float, dict[str, float]] = {
+    1.5: {"AUG1": 6.38, "AUG2": 4.74, "AUG3": 3.09, "AUG4": 5.47, "AUG5": 5.84},
+    3.0: {"AUG1": 6.31, "AUG2": 4.51, "AUG3": 2.88, "AUG4": 5.35, "AUG5": 5.69},
+    6.0: {"AUG1": 6.14, "AUG2": 4.18, "AUG3": 2.66, "AUG4": 5.25, "AUG5": 5.54},
+    9.0: {"AUG1": 6.07, "AUG2": 4.07, "AUG3": 2.64, "AUG4": 5.21, "AUG5": 5.54},
+}
+
+#: Table 2 — KBZ spanning-tree weight criteria, mean scaled costs.
+TABLE2: dict[float, dict[str, float]] = {
+    1.5: {"KBZ3": 5.84, "KBZ4": 6.67, "KBZ5": 6.83},
+    3.0: {"KBZ3": 5.81, "KBZ4": 6.59, "KBZ5": 6.71},
+    6.0: {"KBZ3": 5.77, "KBZ4": 6.55, "KBZ5": 6.68},
+    9.0: {"KBZ3": 5.77, "KBZ4": 6.54, "KBZ5": 6.67},
+}
+
+#: Table 3 — nine benchmark variations x top five methods at 9N^2.
+TABLE3: dict[int, dict[str, float]] = {
+    1: {"IAI": 1.18, "IAL": 1.38, "AGI": 1.35, "KBI": 1.43, "II": 1.43},
+    2: {"IAI": 1.35, "IAL": 1.62, "AGI": 1.77, "KBI": 1.68, "II": 2.11},
+    3: {"IAI": 1.30, "IAL": 1.55, "AGI": 1.76, "KBI": 1.96, "II": 2.06},
+    4: {"IAI": 1.06, "IAL": 1.16, "AGI": 1.13, "KBI": 1.20, "II": 1.24},
+    5: {"IAI": 1.51, "IAL": 2.07, "AGI": 1.89, "KBI": 1.87, "II": 2.18},
+    6: {"IAI": 1.58, "IAL": 2.02, "AGI": 2.50, "KBI": 2.65, "II": 2.83},
+    7: {"IAI": 1.02, "IAL": 1.10, "AGI": 1.06, "KBI": 1.06, "II": 1.04},
+    8: {"IAI": 1.23, "IAL": 1.44, "AGI": 1.48, "KBI": 1.59, "II": 1.56},
+    9: {"IAI": 1.33, "IAL": 1.56, "AGI": 1.42, "KBI": 1.58, "II": 1.59},
+}
+
+
+def _ranks(values: list[float]) -> list[float]:
+    """Fractional ranks (ties averaged)."""
+    order = sorted(range(len(values)), key=lambda i: values[i])
+    ranks = [0.0] * len(values)
+    index = 0
+    while index < len(order):
+        tied_end = index
+        while (
+            tied_end + 1 < len(order)
+            and values[order[tied_end + 1]] == values[order[index]]
+        ):
+            tied_end += 1
+        average = (index + tied_end) / 2.0 + 1.0
+        for position in range(index, tied_end + 1):
+            ranks[order[position]] = average
+        index = tied_end + 1
+    return ranks
+
+
+def spearman_rank_correlation(a: list[float], b: list[float]) -> float:
+    """Spearman's rho between two paired samples (ties averaged)."""
+    if len(a) != len(b):
+        raise ValueError("samples must be paired")
+    if len(a) < 2:
+        raise ValueError("need at least two pairs")
+    ranks_a = _ranks(a)
+    ranks_b = _ranks(b)
+    n = len(a)
+    mean = (n + 1) / 2.0
+    covariance = sum(
+        (ra - mean) * (rb - mean) for ra, rb in zip(ranks_a, ranks_b)
+    )
+    variance_a = sum((ra - mean) ** 2 for ra in ranks_a)
+    variance_b = sum((rb - mean) ** 2 for rb in ranks_b)
+    if variance_a == 0 or variance_b == 0:
+        return 0.0
+    return covariance / (variance_a * variance_b) ** 0.5
+
+
+def ordering_agreement(
+    paper_row: dict[str, float], measured_row: dict[str, float]
+) -> float:
+    """Spearman rho between a paper row and a measured row.
+
+    Only methods present in both rows are compared; 1.0 means identical
+    ordering, 0 means unrelated, negative means reversed.
+    """
+    methods = sorted(set(paper_row) & set(measured_row))
+    if len(methods) < 2:
+        raise ValueError("need at least two shared methods to compare")
+    return spearman_rank_correlation(
+        [paper_row[m] for m in methods],
+        [measured_row[m] for m in methods],
+    )

@@ -1,0 +1,107 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper reports, so a
+reader can put the regenerated tables next to the originals.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import ExperimentResult
+
+
+def render_matrix(
+    title: str,
+    row_labels: list[str],
+    column_labels: list[str],
+    values: list[list[float]],
+    row_header: str = "",
+) -> str:
+    """Render a labelled numeric matrix as an aligned text table."""
+    width = max(
+        8,
+        max((len(label) for label in column_labels), default=8) + 2,
+    )
+    label_width = max(
+        len(row_header), max((len(label) for label in row_labels), default=4)
+    ) + 2
+    lines = [title, ""]
+    header = row_header.ljust(label_width) + "".join(
+        label.rjust(width) for label in column_labels
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, row in zip(row_labels, values):
+        lines.append(
+            label.ljust(label_width)
+            + "".join(f"{value:.2f}".rjust(width) for value in row)
+        )
+    return "\n".join(lines)
+
+
+def render_experiment(title: str, result: ExperimentResult) -> str:
+    """Render an ExperimentResult as time-factor rows × method columns."""
+    factors = sorted(result.config.time_factors)
+    methods = list(result.config.methods)
+    values = [
+        [result.at(method, factor) for method in methods] for factor in factors
+    ]
+    return render_matrix(
+        title,
+        row_labels=[f"{factor:g}N^2" for factor in factors],
+        column_labels=methods,
+        values=values,
+        row_header="Time",
+    )
+
+
+def render_series(title: str, result: ExperimentResult) -> str:
+    """Render each method's (factor, mean scaled cost) series, one per line."""
+    lines = [title, ""]
+    for method in result.config.methods:
+        points = ", ".join(
+            f"{factor:g}: {value:.2f}" for factor, value in result.series(method)
+        )
+        lines.append(f"{method:>5}  {points}")
+    return "\n".join(lines)
+
+
+def render_ascii_chart(
+    title: str,
+    series: dict[str, list[tuple[float, float]]],
+    height: int = 12,
+    width: int = 64,
+) -> str:
+    """A rough ASCII line chart of several (x, y) series.
+
+    Each series gets the first character of its name as its mark; where
+    series overlap, the later one wins the cell.  Intended for the
+    figure benches' textual output, mirroring the paper's figures.
+    """
+    points = [(x, y) for values in series.values() for x, y in values]
+    if not points:
+        raise ValueError("nothing to chart")
+    xs = [x for x, _ in points]
+    ys = [y for _, y in points]
+    x_low, x_high = min(xs), max(xs)
+    y_low, y_high = min(ys), max(ys)
+    x_span = (x_high - x_low) or 1.0
+    y_span = (y_high - y_low) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for name, values in series.items():
+        mark = name[0]
+        for x, y in values:
+            column = int((x - x_low) / x_span * (width - 1))
+            row = int((y - y_low) / y_span * (height - 1))
+            grid[height - 1 - row][column] = mark
+    lines = [title, ""]
+    lines.append(f"{y_high:8.2f} +" + "-" * width)
+    for row in grid:
+        lines.append(" " * 9 + "|" + "".join(row))
+    lines.append(f"{y_low:8.2f} +" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_low:<10g}" + " " * max(0, width - 20) + f"{x_high:>10g}"
+    )
+    legend = "  ".join(f"{name[0]}={name}" for name in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

@@ -1,0 +1,188 @@
+"""Run methods × queries × time limits and aggregate scaled costs.
+
+Each (query, method, replicate) triple is optimized **once**, at the
+largest time limit; the improvement trajectory then yields the best-known
+cost at every smaller limit for free — the paper's sweep structure.  Costs
+are scaled per query by the best cost any compared method achieved at the
+largest limit, outliers are coerced to 10, and the scaled costs are
+averaged over replicates and queries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.join_graph import Query
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.core.optimizer import optimize
+from repro.cost.base import CostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.scaling import OUTLIER_CAP, coerce_outlier
+from repro.utils.rng import derive_seed
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Parameters of one experimental comparison."""
+
+    methods: tuple[str, ...]
+    time_factors: tuple[float, ...] = (1.5, 3.0, 6.0, 9.0)
+    model: CostModel = field(default_factory=MainMemoryCostModel)
+    units_per_n2: float = DEFAULT_UNITS_PER_N2
+    replicates: int = 2
+    seed: int = 0
+    reference_methods: tuple[str, ...] = ()
+    """Methods run only to establish the per-query scaling base (they do
+    not appear in the output).  Tables 1 and 2 use this so that pure
+    heuristics are scaled against a near-optimal baseline, matching the
+    paper's scaled-cost magnitudes."""
+    outlier_cap: float = OUTLIER_CAP
+    """Scaled costs at or above this value are coerced to it (§6.1's
+    trimming rule; 10 in the paper).  Set to ``math.inf`` to ablate the
+    rule and see raw means."""
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError("at least one method is required")
+        if not self.time_factors:
+            raise ValueError("at least one time factor is required")
+        if self.replicates < 1:
+            raise ValueError("replicates must be >= 1")
+
+    @property
+    def max_factor(self) -> float:
+        return max(self.time_factors)
+
+    @property
+    def all_methods(self) -> tuple[str, ...]:
+        extra = tuple(m for m in self.reference_methods if m not in self.methods)
+        return self.methods + extra
+
+
+@dataclass
+class ExperimentResult:
+    """Mean scaled costs: ``result.mean_scaled[method][factor]``.
+
+    ``per_query_scaled`` keeps the underlying per-query values (averaged
+    over replicates, queries in benchmark order) so methods can be
+    compared *paired*, per the SG88 statistical methodology.
+    """
+
+    config: ExperimentConfig
+    n_queries: int
+    mean_scaled: dict[str, dict[float, float]]
+    outlier_counts: dict[str, dict[float, int]]
+    per_query_scaled: dict[str, dict[float, list[float]]]
+
+    def series(self, method: str) -> list[tuple[float, float]]:
+        """The (time factor, mean scaled cost) series for one method."""
+        by_factor = self.mean_scaled[method]
+        return sorted(by_factor.items())
+
+    def at(self, method: str, factor: float) -> float:
+        return self.mean_scaled[method][factor]
+
+    def ranking(self, factor: float) -> list[str]:
+        """Methods ordered best-first at one time factor."""
+        return sorted(
+            self.mean_scaled, key=lambda method: self.mean_scaled[method][factor]
+        )
+
+    def confidence_interval(self, method: str, factor: float, confidence=0.95):
+        """t-interval for the mean scaled cost of one method."""
+        from repro.experiments.statistics import mean_confidence_interval
+
+        return mean_confidence_interval(
+            self.per_query_scaled[method][factor], confidence
+        )
+
+    def compare(self, method_a: str, method_b: str, factor: float, confidence=0.95):
+        """Paired comparison of two methods at one time factor."""
+        from repro.experiments.statistics import paired_comparison
+
+        return paired_comparison(
+            method_a,
+            self.per_query_scaled[method_a][factor],
+            method_b,
+            self.per_query_scaled[method_b][factor],
+            confidence,
+        )
+
+
+def _units_for(query: Query, factor: float, units_per_n2: float) -> float:
+    n = max(1, query.n_joins)
+    return factor * n * n * units_per_n2
+
+
+def run_experiment(
+    queries: list[Query],
+    config: ExperimentConfig,
+    progress=None,
+) -> ExperimentResult:
+    """Execute the comparison and aggregate the scaled costs.
+
+    ``progress`` is an optional callable ``(done, total)`` invoked after
+    each optimized query, for long runs.
+    """
+    methods = config.all_methods
+    accumulator: dict[str, dict[float, list[float]]] = {
+        method: {factor: [] for factor in config.time_factors}
+        for method in config.methods
+    }
+    outliers: dict[str, dict[float, int]] = {
+        method: {factor: 0 for factor in config.time_factors}
+        for method in config.methods
+    }
+    for done, query in enumerate(queries, start=1):
+        # Run everything at the largest limit, keep trajectories.
+        runs: dict[str, list] = {method: [] for method in methods}
+        for method in methods:
+            for replicate in range(config.replicates):
+                seed = derive_seed(config.seed, query.name, method, replicate)
+                runs[method].append(
+                    optimize(
+                        query,
+                        method=method,
+                        model=config.model,
+                        time_factor=config.max_factor,
+                        units_per_n2=config.units_per_n2,
+                        seed=seed,
+                    )
+                )
+        # Per-query scaling base: best final cost over ALL methods/replicates.
+        best = min(
+            result.cost for results in runs.values() for result in results
+        )
+        for method in config.methods:
+            for factor in config.time_factors:
+                units = _units_for(query, factor, config.units_per_n2)
+                scaled_replicates = []
+                for result in runs[method]:
+                    cost = result.best_cost_within(units)
+                    scaled = math.inf if cost is None else cost / best
+                    if scaled >= OUTLIER_CAP:
+                        outliers[method][factor] += 1
+                    scaled_replicates.append(
+                        coerce_outlier(scaled, config.outlier_cap)
+                    )
+                accumulator[method][factor].append(
+                    sum(scaled_replicates) / len(scaled_replicates)
+                )
+        if progress is not None:
+            progress(done, len(queries))
+
+    mean_scaled = {
+        method: {
+            factor: sum(values) / len(values)
+            for factor, values in by_factor.items()
+        }
+        for method, by_factor in accumulator.items()
+    }
+    return ExperimentResult(
+        config=config,
+        n_queries=len(queries),
+        mean_scaled=mean_scaled,
+        outlier_counts=outliers,
+        per_query_scaled=accumulator,
+    )

@@ -1,0 +1,46 @@
+"""The scaled-cost methodology of the paper's §6.1.
+
+For each query, the cost obtained by a method at a time limit is *scaled*
+by dividing by the best solution cost obtained (by any compared method)
+at the largest time limit (``9 N^2`` in the paper).  A scaled cost of at
+least :data:`OUTLIER_CAP` (10) is an *outlying value* — the method failed
+on that query — and is coerced to exactly 10 so that a single catastrophe
+cannot dominate the mean: "once a solution is considered poor, we are not
+much interested ... in how poor it is."
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Scaled costs at or above this value are outliers, coerced to the cap.
+OUTLIER_CAP = 10.0
+
+
+def coerce_outlier(scaled: float, cap: float = OUTLIER_CAP) -> float:
+    """Coerce an outlying scaled cost to the cap (paper's trimming rule)."""
+    if math.isnan(scaled):
+        raise ValueError("scaled cost is NaN")
+    return min(scaled, cap)
+
+
+def scale_costs(
+    costs: dict[str, float], best: float, cap: float = OUTLIER_CAP
+) -> dict[str, float]:
+    """Scale a method→cost map by ``best`` and coerce outliers.
+
+    A method with no solution (cost ``inf``) scales to the cap.
+    """
+    if not best > 0:
+        raise ValueError(f"scaling base must be positive, got {best}")
+    return {
+        method: coerce_outlier(cost / best, cap)
+        for method, cost in costs.items()
+    }
+
+
+def mean(values: list[float]) -> float:
+    """Arithmetic mean (the paper's aggregate after trimming)."""
+    if not values:
+        raise ValueError("mean of empty list")
+    return sum(values) / len(values)

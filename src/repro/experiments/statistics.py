@@ -1,0 +1,131 @@
+"""Statistical comparison of optimization methods (SG88 methodology).
+
+The paper defers its statistical techniques to [SG88]; the essence is
+that methods are compared *paired per query* (every method sees the same
+queries), so differences should be judged on the per-query paired
+deltas, not on the two means alone.  This module provides:
+
+* :func:`mean_confidence_interval` — a t-distribution confidence
+  interval for a sample mean;
+* :func:`paired_comparison` — the paired mean difference between two
+  methods with its confidence interval and a significance verdict.
+
+Implemented with scipy when available, falling back to a small built-in
+t-quantile table otherwise (the library proper has no hard dependencies).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def _t_quantile(degrees: int, confidence: float) -> float:
+    """Two-sided t quantile; scipy when present, else a 95% table."""
+    try:
+        from scipy import stats
+
+        return float(stats.t.ppf(0.5 + confidence / 2.0, degrees))
+    except ImportError:  # pragma: no cover - scipy is present in CI
+        if abs(confidence - 0.95) > 1e-9:
+            raise ValueError(
+                "without scipy only 95% confidence is supported"
+            ) from None
+        table = {
+            1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571,
+            6: 2.447, 7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228,
+            15: 2.131, 20: 2.086, 30: 2.042, 60: 2.000, 120: 1.980,
+        }
+        for cutoff, value in sorted(table.items()):
+            if degrees <= cutoff:
+                return value
+        return 1.960
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A sample mean with its two-sided confidence interval."""
+
+    mean: float
+    low: float
+    high: float
+    confidence: float
+    n: int
+
+    def contains(self, value: float) -> bool:
+        return self.low <= value <= self.high
+
+    @property
+    def half_width(self) -> float:
+        return (self.high - self.low) / 2.0
+
+
+def mean_confidence_interval(
+    values: list[float], confidence: float = 0.95
+) -> ConfidenceInterval:
+    """t-interval for the mean of ``values`` (n >= 2 required)."""
+    n = len(values)
+    if n < 2:
+        raise ValueError("confidence interval needs at least two values")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    mean = sum(values) / n
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    half = _t_quantile(n - 1, confidence) * math.sqrt(variance / n)
+    return ConfidenceInterval(
+        mean=mean, low=mean - half, high=mean + half, confidence=confidence, n=n
+    )
+
+
+@dataclass(frozen=True)
+class PairedComparison:
+    """Outcome of a paired comparison between two methods.
+
+    ``delta`` is mean(a - b): negative means method ``a`` is cheaper.
+    The difference is *significant* when the interval excludes zero.
+    """
+
+    method_a: str
+    method_b: str
+    delta: ConfidenceInterval
+
+    @property
+    def significant(self) -> bool:
+        return not self.delta.contains(0.0)
+
+    @property
+    def better(self) -> str | None:
+        """The significantly better method, or None when tied."""
+        if not self.significant:
+            return None
+        return self.method_a if self.delta.mean < 0 else self.method_b
+
+    def __str__(self) -> str:
+        verdict = self.better or "no significant difference"
+        return (
+            f"{self.method_a} - {self.method_b}: "
+            f"{self.delta.mean:+.3f} "
+            f"[{self.delta.low:+.3f}, {self.delta.high:+.3f}] -> {verdict}"
+        )
+
+
+def paired_comparison(
+    method_a: str,
+    values_a: list[float],
+    method_b: str,
+    values_b: list[float],
+    confidence: float = 0.95,
+) -> PairedComparison:
+    """Paired mean-difference comparison over per-query values."""
+    if len(values_a) != len(values_b):
+        raise ValueError(
+            f"paired samples differ in length: {len(values_a)} vs {len(values_b)}"
+        )
+    deltas = [a - b for a, b in zip(values_a, values_b)]
+    if all(abs(d) < 1e-15 for d in deltas):
+        # Degenerate but legitimate: identical per-query results.
+        interval = ConfidenceInterval(0.0, 0.0, 0.0, confidence, len(deltas))
+        return PairedComparison(method_a, method_b, interval)
+    return PairedComparison(
+        method_a, method_b, mean_confidence_interval(deltas, confidence)
+    )

@@ -1,0 +1,128 @@
+"""Reproduction of the paper's Tables 1, 2, and 3.
+
+Each function generates its benchmark, runs the comparison, and returns an
+:class:`ExperimentResult` (Tables 1 and 2) or a per-benchmark matrix
+(Table 3).  The ``n_values`` / ``queries_per_n`` parameters default to a
+scaled-down benchmark that preserves the tables' shape; pass the paper's
+values (``(10, 20, 30, 40, 50)`` / 50) to run at full scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.cost.base import CostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.runner import (
+    ExperimentConfig,
+    ExperimentResult,
+    run_experiment,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC, benchmark_spec, generate_benchmark
+
+#: Time limits shown in Tables 1 and 2 (multiples of N^2).
+TABLE_TIME_FACTORS = (1.5, 3.0, 6.0, 9.0)
+
+#: The five methods of Table 3, in the paper's column order.
+TABLE3_METHODS = ("IAI", "IAL", "AGI", "KBI", "II")
+
+
+def _default_queries(n_values, queries_per_n, seed):
+    return generate_benchmark(
+        DEFAULT_SPEC, n_values=n_values, queries_per_n=queries_per_n, seed=seed
+    )
+
+
+def table1(
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 6,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Table 1: the five augmentation ``chooseNext`` criteria.
+
+    Pure augmentation (``AUG1``–``AUG5``) at the four table time limits,
+    scaled against an IAI reference so magnitudes are comparable to the
+    paper's (whose base is the best solution known at ``9 N^2``).
+    """
+    config = ExperimentConfig(
+        methods=("AUG1", "AUG2", "AUG3", "AUG4", "AUG5"),
+        time_factors=TABLE_TIME_FACTORS,
+        model=model or MainMemoryCostModel(),
+        units_per_n2=units_per_n2,
+        replicates=replicates,
+        seed=seed,
+        reference_methods=("IAI",),
+    )
+    return run_experiment(_default_queries(n_values, queries_per_n, seed), config)
+
+
+def table2(
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 6,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+) -> ExperimentResult:
+    """Table 2: KBZ spanning-tree weight criteria 3, 4, and 5."""
+    config = ExperimentConfig(
+        methods=("KBZ3", "KBZ4", "KBZ5"),
+        time_factors=TABLE_TIME_FACTORS,
+        model=model or MainMemoryCostModel(),
+        units_per_n2=units_per_n2,
+        replicates=replicates,
+        seed=seed,
+        reference_methods=("IAI",),
+    )
+    return run_experiment(_default_queries(n_values, queries_per_n, seed), config)
+
+
+@dataclass
+class Table3Result:
+    """Mean scaled cost at ``9 N^2`` per (benchmark, method)."""
+
+    methods: tuple[str, ...]
+    rows: dict[int, dict[str, float]]
+
+    def winner(self, benchmark: int) -> str:
+        row = self.rows[benchmark]
+        return min(row, key=row.get)
+
+
+def table3(
+    benchmarks: tuple[int, ...] = tuple(range(1, 10)),
+    n_values: tuple[int, ...] = (10, 15, 20),
+    queries_per_n: int = 4,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    replicates: int = 2,
+    seed: int = 0,
+    model: CostModel | None = None,
+    time_factor: float = 9.0,
+) -> Table3Result:
+    """Table 3: the top five methods across the nine benchmark variations.
+
+    One run per benchmark at the ``9 N^2`` limit (the paper's setting).
+    """
+    rows: dict[int, dict[str, float]] = {}
+    for number in benchmarks:
+        spec = benchmark_spec(number)
+        queries = generate_benchmark(
+            spec, n_values=n_values, queries_per_n=queries_per_n, seed=seed
+        )
+        config = ExperimentConfig(
+            methods=TABLE3_METHODS,
+            time_factors=(time_factor,),
+            model=model or MainMemoryCostModel(),
+            units_per_n2=units_per_n2,
+            replicates=replicates,
+            seed=seed,
+        )
+        result = run_experiment(queries, config)
+        rows[number] = {
+            method: result.at(method, time_factor) for method in TABLE3_METHODS
+        }
+    return Table3Result(methods=TABLE3_METHODS, rows=rows)

@@ -1,0 +1,18 @@
+"""Text frontend: pose join queries in a small SQL-like syntax.
+
+* :mod:`repro.frontend.catalog` — a registry of table statistics.
+* :mod:`repro.frontend.sql` — parse ``SELECT ... FROM ... WHERE`` text
+  with equi-join and constant predicates into a
+  :class:`~repro.catalog.join_graph.Query` the optimizer accepts.
+"""
+
+from repro.frontend.catalog import ColumnStats, StatsCatalog, TableStats
+from repro.frontend.sql import ParseError, parse_query
+
+__all__ = [
+    "ColumnStats",
+    "TableStats",
+    "StatsCatalog",
+    "ParseError",
+    "parse_query",
+]

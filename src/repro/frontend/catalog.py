@@ -1,0 +1,127 @@
+"""A statistics catalog for the text frontend.
+
+The optimizer needs, per table, a cardinality, and per join column a
+distinct-value count; per selection predicate, a selectivity.  A real
+system keeps these in its catalog; here the user registers them (or they
+come from :func:`StatsCatalog.from_tables`, which measures actual engine
+tables).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics for one column: distinct values and, optionally, a
+    default selectivity for equality-with-constant predicates."""
+
+    distinct: float
+    equality_selectivity: float | None = None
+
+    def __post_init__(self) -> None:
+        check_positive("distinct", self.distinct)
+
+    @property
+    def selectivity(self) -> float:
+        """Selectivity of ``column = constant`` (1/distinct by default)."""
+        if self.equality_selectivity is not None:
+            return self.equality_selectivity
+        return 1.0 / self.distinct
+
+
+@dataclass
+class TableStats:
+    """Statistics for one table."""
+
+    name: str
+    cardinality: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        check_positive("cardinality", self.cardinality)
+
+    def column(self, name: str) -> ColumnStats:
+        stats = self.columns.get(name)
+        if stats is None:
+            # Unknown column: assume a key-like column (worst case for
+            # join blow-up estimation is optimistic; document clearly).
+            return ColumnStats(distinct=float(self.cardinality))
+        return stats
+
+
+class StatsCatalog:
+    """A registry of :class:`TableStats`, keyed case-insensitively.
+
+    Besides programmatic registration, a catalog can be loaded from a
+    JSON document (see :meth:`from_json`)::
+
+        {
+          "tables": {
+            "orders": {
+              "cardinality": 1000000,
+              "columns": {"customer_id": {"distinct": 50000}}
+            }
+          }
+        }
+    """
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableStats] = {}
+
+    @classmethod
+    def from_dict(cls, document: dict) -> "StatsCatalog":
+        """Build a catalog from a JSON-shaped dictionary."""
+        catalog = cls()
+        tables = document.get("tables")
+        if not isinstance(tables, dict):
+            raise ValueError('catalog document needs a "tables" mapping')
+        for name, entry in tables.items():
+            columns = {
+                column: ColumnStats(
+                    distinct=stats["distinct"],
+                    equality_selectivity=stats.get("equality_selectivity"),
+                )
+                for column, stats in entry.get("columns", {}).items()
+            }
+            catalog.add_table(name, entry["cardinality"], columns)
+        return catalog
+
+    @classmethod
+    def from_json(cls, path) -> "StatsCatalog":
+        """Load a catalog from a JSON file."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text(encoding="utf-8")))
+
+    def add_table(
+        self,
+        name: str,
+        cardinality: int,
+        columns: dict[str, ColumnStats] | None = None,
+    ) -> TableStats:
+        """Register a table; returns its stats object for further edits."""
+        key = name.lower()
+        if key in self._tables:
+            raise ValueError(f"table {name!r} already registered")
+        stats = TableStats(name=name, cardinality=cardinality, columns=dict(columns or {}))
+        self._tables[key] = stats
+        return stats
+
+    def table(self, name: str) -> TableStats:
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise KeyError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            ) from None
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)

@@ -1,0 +1,215 @@
+"""Bushy join trees (the paper's §2 open problem).
+
+The paper restricts its search to outer linear join trees "based on the
+assumption that a significant fraction of the join trees with low
+processing cost is to be found in the space of outer linear join trees.
+The validation of this assumption is an open problem."  This module
+provides the instruments to test that assumption: general (bushy) join
+trees, their cost under the library's cost models, a random generator,
+the classic transformation move set, and an iterative-improvement search
+over the bushy space.
+
+Sizes use the *static* estimator (a subtree's estimated size depends
+only on its relation set), so a tree's cost is the sum of
+``model.join_cost(left_size, right_size, result_size)`` over its
+internal nodes — the same per-join pricing the linear plans get, with
+the left operand in the outer role.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.catalog.join_graph import JoinGraph
+from repro.cost.base import CostModel
+from repro.cost.cardinality import combined_selectivity
+from repro.plans.join_order import JoinOrder
+
+
+@dataclass(frozen=True)
+class BushyTree:
+    """A binary join tree; leaves are relation indices.
+
+    ``left``/``right`` are ``None`` on leaves (then ``relation`` is set).
+    Trees are immutable; transformations build new trees sharing
+    untouched subtrees.
+    """
+
+    relation: int | None = None
+    left: "BushyTree | None" = None
+    right: "BushyTree | None" = None
+
+    def __post_init__(self) -> None:
+        if (self.relation is None) == (self.left is None):
+            raise ValueError("a node is either a leaf or has two children")
+        if (self.left is None) != (self.right is None):
+            raise ValueError("internal nodes need both children")
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.relation is not None
+
+    @property
+    def relations(self) -> frozenset[int]:
+        if self.is_leaf:
+            return frozenset((self.relation,))
+        return self.left.relations | self.right.relations
+
+    def leaves(self) -> Iterator[int]:
+        if self.is_leaf:
+            yield self.relation
+        else:
+            yield from self.left.leaves()
+            yield from self.right.leaves()
+
+    def internal_nodes(self) -> Iterator["BushyTree"]:
+        """Every internal node, parents before children."""
+        if not self.is_leaf:
+            yield self
+            yield from self.left.internal_nodes()
+            yield from self.right.internal_nodes()
+
+    def depth(self) -> int:
+        if self.is_leaf:
+            return 0
+        return 1 + max(self.left.depth(), self.right.depth())
+
+    def is_left_deep(self) -> bool:
+        """True when every right child is a leaf (outer linear shape)."""
+        if self.is_leaf:
+            return True
+        return self.right.is_leaf and self.left.is_left_deep()
+
+    def render(self, graph: JoinGraph | None = None) -> str:
+        if self.is_leaf:
+            if graph is None:
+                return f"R{self.relation}"
+            return graph.relation(self.relation).name
+        return f"({self.left.render(graph)} |><| {self.right.render(graph)})"
+
+
+def leaf(relation: int) -> BushyTree:
+    return BushyTree(relation=relation)
+
+
+def join(left_tree: BushyTree, right_tree: BushyTree) -> BushyTree:
+    return BushyTree(left=left_tree, right=right_tree)
+
+
+def linear_to_bushy(order: JoinOrder) -> BushyTree:
+    """The left-deep tree equivalent to an outer-linear order."""
+    tree = leaf(order[0])
+    for position in range(1, len(order)):
+        tree = join(tree, leaf(order[position]))
+    return tree
+
+
+def is_valid_bushy(tree: BushyTree, graph: JoinGraph) -> bool:
+    """No internal node is a cross product (within a connected graph)."""
+    for node in tree.internal_nodes():
+        left_set = node.left.relations
+        crossing = any(
+            graph.has_edge(a, b)
+            for b in node.right.relations
+            for a in left_set
+        )
+        if not crossing:
+            return False
+    return True
+
+
+def _crossing_predicates(graph, left_set, right_set):
+    predicates = []
+    for vertex in right_set:
+        for neighbor, predicate in graph.adjacency(vertex).items():
+            if neighbor in left_set:
+                predicates.append(predicate)
+    return predicates
+
+
+def tree_sizes(tree: BushyTree, graph: JoinGraph) -> dict[BushyTree, float]:
+    """Static estimated size of every subtree (keyed by node identity)."""
+    sizes: dict[int, float] = {}
+
+    def visit(node: BushyTree) -> float:
+        if node.is_leaf:
+            size = graph.cardinality(node.relation)
+        else:
+            left_size = visit(node.left)
+            right_size = visit(node.right)
+            predicates = _crossing_predicates(
+                graph, node.left.relations, node.right.relations
+            )
+            size = left_size * right_size * combined_selectivity(predicates)
+        sizes[id(node)] = size
+        return size
+
+    visit(tree)
+    return {node: sizes[id(node)] for node in _all_nodes(tree)}
+
+
+def _all_nodes(tree: BushyTree) -> Iterator[BushyTree]:
+    yield tree
+    if not tree.is_leaf:
+        yield from _all_nodes(tree.left)
+        yield from _all_nodes(tree.right)
+
+
+def bushy_cost(tree: BushyTree, graph: JoinGraph, model: CostModel) -> float:
+    """Total cost of a bushy tree under ``model`` (static sizes)."""
+
+    def visit(node: BushyTree) -> tuple[float, float]:
+        if node.is_leaf:
+            return graph.cardinality(node.relation), 0.0
+        left_size, left_cost = visit(node.left)
+        right_size, right_cost = visit(node.right)
+        predicates = _crossing_predicates(
+            graph, node.left.relations, node.right.relations
+        )
+        result = left_size * right_size * combined_selectivity(predicates)
+        cost = (
+            left_cost
+            + right_cost
+            + model.join_cost(left_size, right_size, result)
+        )
+        return result, cost
+
+    return visit(tree)[1]
+
+
+def random_bushy_tree(graph: JoinGraph, rng: random.Random) -> BushyTree:
+    """A random valid bushy tree, by random connected forest merging.
+
+    Maintains a forest of subtrees (initially the leaves) and repeatedly
+    merges a random pair of subtrees linked by at least one join
+    predicate, so the result never contains a cross product.  Requires a
+    connected graph.
+    """
+    if not graph.is_connected:
+        raise ValueError("random_bushy_tree requires a connected graph")
+    forest: list[BushyTree] = [leaf(i) for i in range(graph.n_relations)]
+    component_of = list(range(graph.n_relations))
+
+    def mergeable() -> list[tuple[int, int]]:
+        pairs = set()
+        for predicate in graph.predicates:
+            a = component_of[predicate.left]
+            b = component_of[predicate.right]
+            if a != b:
+                pairs.add((min(a, b), max(a, b)))
+        return sorted(pairs)
+
+    while len({c for c in component_of}) > 1:
+        a, b = rng.choice(mergeable())
+        tree_a = forest[a]
+        tree_b = forest[b]
+        if rng.random() < 0.5:
+            tree_a, tree_b = tree_b, tree_a
+        merged = join(tree_a, tree_b)
+        forest[a] = merged
+        for index, component in enumerate(component_of):
+            if component == b:
+                component_of[index] = a
+    return forest[component_of[0]]

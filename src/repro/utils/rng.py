@@ -1,0 +1,31 @@
+"""Deterministic random-number-stream derivation.
+
+Every stochastic component of the library receives an explicit
+``random.Random`` instance.  Experiments derive independent, reproducible
+streams from a root seed plus a path of string/int keys, so that any single
+cell of any table (one query, one method, one replicate) can be regenerated
+in isolation without replaying the whole experiment.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+_MASK_64 = (1 << 64) - 1
+
+
+def derive_seed(root_seed: int, *keys: object) -> int:
+    """Derive a stable 64-bit seed from a root seed and a key path.
+
+    The derivation hashes the textual representation of the key path, so it
+    is stable across processes and Python versions (unlike ``hash()``).
+    """
+    material = repr((int(root_seed), tuple(repr(k) for k in keys)))
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & _MASK_64
+
+
+def derive_rng(root_seed: int, *keys: object) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically from a key path."""
+    return random.Random(derive_seed(root_seed, *keys))

@@ -1,0 +1,35 @@
+"""Synthetic query benchmarks (the paper's §5).
+
+* :mod:`repro.workloads.distributions` — the parameter distributions.
+* :mod:`repro.workloads.generator` — random query generation (the
+  two-step join-graph construction, with star/chain biases).
+* :mod:`repro.workloads.benchmarks` — the default benchmark and its nine
+  variations, plus helpers to materialise full query sets.
+"""
+
+from repro.workloads.distributions import BucketDistribution, WorkloadSpec
+from repro.workloads.generator import generate_query
+from repro.workloads.benchmarks import (
+    DEFAULT_SPEC,
+    benchmark_spec,
+    benchmark_specs,
+    generate_benchmark,
+)
+from repro.workloads.schemas import (
+    StarSchemaSpec,
+    generate_star_benchmark,
+    generate_star_query,
+)
+
+__all__ = [
+    "BucketDistribution",
+    "WorkloadSpec",
+    "generate_query",
+    "DEFAULT_SPEC",
+    "benchmark_spec",
+    "benchmark_specs",
+    "generate_benchmark",
+    "StarSchemaSpec",
+    "generate_star_benchmark",
+    "generate_star_query",
+]

@@ -1,0 +1,127 @@
+"""The default benchmark and its nine variations (the paper's §5).
+
+The variations, numbered 1–9 in the order the paper lists them:
+
+=====  =================================================================
+1      cardinalities ``[10,10^3) 20%, [10^3,10^4) 60%, [10^4,10^5) 20%``
+       (default shape, range scaled by 10)
+2      cardinalities uniform over ``[10, 10^4)``
+3      cardinalities uniform over ``[10, 10^5)``
+4      distinct fractions ``(0,0.2] 80%, (0.2,1) 16%, 1.0 4%`` (more
+       distinct values — smaller intermediates)
+5      distinct fractions ``(0,0.1] 90%, (0.1,1) 9%, 1.0 1%`` (fewer —
+       larger intermediates, harder queries)
+6      distinct fractions ``(0,0.1] 80%, (0.1,1) 16%, 1.0 4%``
+7      join cutoff probability 0.1, no bias (denser join graphs)
+8      star-biased join graphs, cutoff 0.01
+9      chain-biased join graphs, cutoff 0.01
+=====  =================================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.catalog.join_graph import Query
+from repro.utils.rng import derive_seed
+from repro.workloads.distributions import BucketDistribution, WorkloadSpec
+from repro.workloads.generator import generate_query
+
+#: The paper's default benchmark specification.
+DEFAULT_SPEC = WorkloadSpec()
+
+
+def _variations() -> dict[int, WorkloadSpec]:
+    return {
+        1: replace(
+            DEFAULT_SPEC,
+            name="card-x10",
+            cardinality=BucketDistribution.from_triples(
+                (10, 1_000, 0.20), (1_000, 10_000, 0.60), (10_000, 100_000, 0.20)
+            ),
+        ),
+        2: replace(
+            DEFAULT_SPEC,
+            name="card-uniform-1e4",
+            cardinality=BucketDistribution.uniform(10, 10_000),
+        ),
+        3: replace(
+            DEFAULT_SPEC,
+            name="card-uniform-1e5",
+            cardinality=BucketDistribution.uniform(10, 100_000),
+        ),
+        4: replace(
+            DEFAULT_SPEC,
+            name="distinct-high",
+            distinct_fraction=BucketDistribution.from_triples(
+                (0.0, 0.2, 0.80), (0.2, 1.0, 0.16), (1.0, 1.0, 0.04)
+            ),
+        ),
+        5: replace(
+            DEFAULT_SPEC,
+            name="distinct-low",
+            distinct_fraction=BucketDistribution.from_triples(
+                (0.0, 0.1, 0.90), (0.1, 1.0, 0.09), (1.0, 1.0, 0.01)
+            ),
+        ),
+        6: replace(
+            DEFAULT_SPEC,
+            name="distinct-low-high",
+            distinct_fraction=BucketDistribution.from_triples(
+                (0.0, 0.1, 0.80), (0.1, 1.0, 0.16), (1.0, 1.0, 0.04)
+            ),
+        ),
+        7: replace(
+            DEFAULT_SPEC,
+            name="dense-graph",
+            join_cutoff_probability=0.1,
+        ),
+        8: replace(DEFAULT_SPEC, name="star-graph", graph_bias="star"),
+        9: replace(DEFAULT_SPEC, name="chain-graph", graph_bias="chain"),
+    }
+
+
+def benchmark_specs() -> dict[int, WorkloadSpec]:
+    """All specs keyed by the paper's numbering; 0 is the default."""
+    specs = {0: DEFAULT_SPEC}
+    specs.update(_variations())
+    return specs
+
+
+def benchmark_spec(number: int) -> WorkloadSpec:
+    """Spec ``number`` (0 = default, 1–9 = the paper's variations)."""
+    specs = benchmark_specs()
+    try:
+        return specs[number]
+    except KeyError:
+        raise ValueError(
+            f"benchmark number must be 0..9, got {number}"
+        ) from None
+
+
+def generate_benchmark(
+    spec: WorkloadSpec,
+    n_values: tuple[int, ...] = (10, 20, 30, 40, 50),
+    queries_per_n: int = 50,
+    seed: int = 0,
+) -> list[Query]:
+    """Materialise a full benchmark: ``queries_per_n`` queries per ``N``.
+
+    The paper's main benchmark is 50 queries for each of
+    ``N = 10..50`` (250 queries); its larger benchmark extends to
+    ``N = 100`` (500 queries).  Both are reachable by parameter choice;
+    the defaults here match the paper's main benchmark.
+    """
+    queries: list[Query] = []
+    for n_joins in n_values:
+        for index in range(queries_per_n):
+            query_seed = derive_seed(seed, spec.name, n_joins, index)
+            queries.append(
+                generate_query(
+                    spec,
+                    n_joins,
+                    query_seed,
+                    name=f"{spec.name}-N{n_joins}-q{index}",
+                )
+            )
+    return queries

@@ -1,0 +1,116 @@
+"""Parameter distributions for the synthetic benchmarks.
+
+The paper specifies every query feature as a small bucketed distribution
+(e.g. relation cardinalities: ``[10,100) 20%, [100,1000) 60%,
+[1000,10000) 20%``).  :class:`BucketDistribution` models exactly that: a
+bucket is picked by its probability, then a value is drawn uniformly
+within it (a zero-width bucket is a point mass, used for the "fraction
+exactly 1.0" distinct-value case).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_probability
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One bucket: values in ``[low, high)`` with mass ``probability``.
+
+    ``low == high`` denotes a point mass at that value.
+    """
+
+    low: float
+    high: float
+    probability: float
+
+    def __post_init__(self) -> None:
+        if self.high < self.low:
+            raise ValueError(f"bucket upper bound below lower: {self}")
+        check_probability("probability", self.probability)
+
+    def sample(self, rng: random.Random) -> float:
+        if self.high == self.low:
+            return self.low
+        return rng.uniform(self.low, self.high)
+
+
+@dataclass(frozen=True)
+class BucketDistribution:
+    """A mixture of uniform buckets with probabilities summing to one."""
+
+    buckets: tuple[Bucket, ...]
+
+    def __post_init__(self) -> None:
+        total = sum(bucket.probability for bucket in self.buckets)
+        if not math.isclose(total, 1.0, abs_tol=1e-9):
+            raise ValueError(f"bucket probabilities sum to {total}, expected 1")
+
+    @classmethod
+    def from_triples(
+        cls, *triples: tuple[float, float, float]
+    ) -> "BucketDistribution":
+        """Build from ``(low, high, probability)`` triples."""
+        return cls(tuple(Bucket(*triple) for triple in triples))
+
+    @classmethod
+    def uniform(cls, low: float, high: float) -> "BucketDistribution":
+        """A single uniform bucket over ``[low, high)``."""
+        return cls((Bucket(low, high, 1.0),))
+
+    def sample(self, rng: random.Random) -> float:
+        draw = rng.random()
+        cumulative = 0.0
+        for bucket in self.buckets:
+            cumulative += bucket.probability
+            if draw < cumulative:
+                return bucket.sample(rng)
+        return self.buckets[-1].sample(rng)
+
+
+#: The paper's selection-predicate selectivities; repeats encode frequency.
+SELECTION_SELECTIVITIES: tuple[float, ...] = (
+    0.001, 0.01, 0.1, 0.2, 0.34, 0.34, 0.34,
+    0.34, 0.34, 0.5, 0.5, 0.5, 0.67, 0.8, 1.0,
+)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Everything the generator needs to synthesise one benchmark.
+
+    The defaults are the paper's "default benchmark" (§5); the nine
+    variations override single fields (see
+    :mod:`repro.workloads.benchmarks`).
+    """
+
+    name: str = "default"
+    cardinality: BucketDistribution = field(
+        default_factory=lambda: BucketDistribution.from_triples(
+            (10, 100, 0.20), (100, 1_000, 0.60), (1_000, 10_000, 0.20)
+        )
+    )
+    distinct_fraction: BucketDistribution = field(
+        default_factory=lambda: BucketDistribution.from_triples(
+            (0.0, 0.2, 0.90), (0.2, 1.0, 0.09), (1.0, 1.0, 0.01)
+        )
+    )
+    selection_selectivities: tuple[float, ...] = SELECTION_SELECTIVITIES
+    max_selections: int = 2
+    join_cutoff_probability: float = 0.01
+    graph_bias: str = "none"
+
+    def __post_init__(self) -> None:
+        check_probability(
+            "join_cutoff_probability", self.join_cutoff_probability
+        )
+        if self.graph_bias not in ("none", "star", "chain"):
+            raise ValueError(
+                f"graph_bias must be none/star/chain, got {self.graph_bias!r}"
+            )
+        if self.max_selections < 0:
+            raise ValueError("max_selections must be >= 0")

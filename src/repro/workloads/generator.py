@@ -1,0 +1,121 @@
+"""Random query generation (the paper's §5).
+
+The join graph is generated in two steps:
+
+1. **Spanning step** — a connected graph over ``N + 1`` relations is grown
+   so that the identity permutation is valid: relations are linked in
+   numerical order, each new relation ``i`` attaching to a relation already
+   in the linked set.  The attachment choice carries the benchmark's bias:
+
+   * ``none`` — uniformly random member of the linked set (the default);
+   * ``star`` — preferential attachment (probability proportional to the
+     square of the current degree), producing a few high-degree hubs;
+   * ``chain`` — attach to the most recently linked relation with high
+     probability, producing long paths.
+
+2. **Cutoff step** — every remaining pair of relations is linked with the
+   *join cutoff probability*, possibly creating cycles.
+
+Each join predicate draws a distinct-value count for both of its columns
+as a fraction of the owning relation's effective cardinality; the join
+selectivity follows as ``1 / max(D_left, D_right)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation, Selection
+from repro.utils.rng import derive_rng
+from repro.workloads.distributions import WorkloadSpec
+
+#: Probability with which the chain bias attaches to the newest relation.
+_CHAIN_STICKINESS = 0.9
+
+
+def _sample_relation(spec: WorkloadSpec, index: int, rng: random.Random) -> Relation:
+    cardinality = max(2, int(spec.cardinality.sample(rng)))
+    n_selections = rng.randint(0, spec.max_selections)
+    selections = tuple(
+        Selection(rng.choice(spec.selection_selectivities), column=f"s{k}")
+        for k in range(n_selections)
+    )
+    return Relation(f"R{index}", cardinality, selections)
+
+
+def _pick_attachment(
+    linked: list[int],
+    degrees: list[int],
+    bias: str,
+    rng: random.Random,
+) -> int:
+    if bias == "chain" and rng.random() < _CHAIN_STICKINESS:
+        return linked[-1]
+    if bias == "star":
+        weights = [(degrees[v] + 1) ** 2 for v in linked]
+        return rng.choices(linked, weights=weights, k=1)[0]
+    return rng.choice(linked)
+
+
+def _distinct_values(
+    spec: WorkloadSpec, relation: Relation, rng: random.Random
+) -> float:
+    """Distinct-value count for one join column of ``relation``."""
+    fraction = spec.distinct_fraction.sample(rng)
+    cardinality = relation.cardinality
+    return max(1.0, min(cardinality, round(fraction * cardinality)))
+
+
+def generate_query(
+    spec: WorkloadSpec,
+    n_joins: int,
+    seed: int,
+    name: str | None = None,
+) -> Query:
+    """Generate one random query with ``n_joins`` joins under ``spec``.
+
+    The same ``(spec, n_joins, seed)`` triple always yields the same query.
+    """
+    if n_joins < 1:
+        raise ValueError(f"n_joins must be >= 1, got {n_joins}")
+    rng = derive_rng(seed, "workload", spec.name, n_joins)
+    n_relations = n_joins + 1
+    relations = [_sample_relation(spec, i, rng) for i in range(n_relations)]
+
+    # Step 1: connected spanning structure, identity permutation valid.
+    edges: set[tuple[int, int]] = set()
+    degrees = [0] * n_relations
+    linked = [0]
+    for i in range(1, n_relations):
+        partner = _pick_attachment(linked, degrees, spec.graph_bias, rng)
+        edges.add((min(i, partner), max(i, partner)))
+        degrees[i] += 1
+        degrees[partner] += 1
+        linked.append(i)
+
+    # Step 2: extra predicates with the join cutoff probability.
+    for a in range(n_relations):
+        for b in range(a + 1, n_relations):
+            if (a, b) in edges:
+                continue
+            if rng.random() < spec.join_cutoff_probability:
+                edges.add((a, b))
+
+    predicates = [
+        JoinPredicate(
+            a,
+            b,
+            left_distinct=_distinct_values(spec, relations[a], rng),
+            right_distinct=_distinct_values(spec, relations[b], rng),
+        )
+        for a, b in sorted(edges)
+    ]
+    graph = JoinGraph(relations, predicates)
+    return Query(
+        graph=graph,
+        name=name or f"{spec.name}-N{n_joins}-s{seed}",
+        seed=seed,
+        metadata={"spec": spec.name, "n_joins": n_joins},
+    )

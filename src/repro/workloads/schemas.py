@@ -1,0 +1,125 @@
+"""Schema-shaped query generators: star and snowflake warehouses.
+
+The synthetic benchmark of §5 draws *statistics* from distributions; its
+star/chain variants only bias the join graph's shape.  This module
+generates queries with warehouse *semantics* instead — a central fact
+table with foreign keys into dimensions (star), optionally with
+normalized dimension hierarchies (snowflake) — the concrete workload the
+paper's introduction motivates via object-oriented and view-heavy
+applications.  Key/foreign-key statistics are set exactly: a dimension's
+join column is its key (distinct = cardinality) and the fact side has as
+many distinct values as the dimension has rows, so every fact row finds
+exactly one dimension partner.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation, Selection
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class StarSchemaSpec:
+    """Parameters of a star/snowflake query generator.
+
+    ``hierarchy_depth = 1`` is a pure star; deeper values chain each
+    dimension into a normalized hierarchy (snowflake), multiplying the
+    number of joins without touching the fact table's degree.
+    """
+
+    n_dimensions: int = 8
+    hierarchy_depth: int = 1
+    fact_rows: int = 1_000_000
+    dimension_rows: tuple[int, int] = (100, 50_000)
+    shrink_per_level: float = 0.1
+    fact_selectivity: float = 0.2
+    dimension_selection_probability: float = 0.5
+
+    def __post_init__(self) -> None:
+        check_positive("n_dimensions", self.n_dimensions)
+        check_positive("hierarchy_depth", self.hierarchy_depth)
+        check_positive("fact_rows", self.fact_rows)
+        if not 0 < self.shrink_per_level <= 1:
+            raise ValueError("shrink_per_level must be in (0, 1]")
+
+    @property
+    def n_joins(self) -> int:
+        return self.n_dimensions * self.hierarchy_depth
+
+
+def generate_star_query(
+    spec: StarSchemaSpec, seed: int = 0, name: str | None = None
+) -> Query:
+    """One star/snowflake query under ``spec`` (deterministic per seed)."""
+    rng: random.Random = derive_rng(seed, "star-schema", spec.n_dimensions)
+    relations: list[Relation] = []
+    predicates: list[JoinPredicate] = []
+
+    fact_selections = (
+        (Selection(spec.fact_selectivity, column="measure"),)
+        if spec.fact_selectivity < 1.0
+        else ()
+    )
+    relations.append(Relation("facts", spec.fact_rows, fact_selections))
+
+    low, high = spec.dimension_rows
+    for dimension in range(spec.n_dimensions):
+        parent_index = 0  # the fact table
+        rows = rng.randint(low, high)
+        for level in range(spec.hierarchy_depth):
+            suffix = f"_l{level}" if spec.hierarchy_depth > 1 else ""
+            selections = ()
+            if rng.random() < spec.dimension_selection_probability:
+                selections = (Selection(rng.choice((0.1, 0.34, 0.5)), "attr"),)
+            relation = Relation(f"dim{dimension}{suffix}", rows, selections)
+            relations.append(relation)
+            index = len(relations) - 1
+            # Foreign key: the child side references the new relation's
+            # key.  Distinct on the referencing side = referenced rows
+            # (every key value appears), on the key side = its rows.
+            parent_effective = relations[parent_index].cardinality
+            key_distinct = float(rows)
+            referencing_distinct = min(parent_effective, key_distinct)
+            predicates.append(
+                JoinPredicate(
+                    parent_index,
+                    index,
+                    left_distinct=max(1.0, referencing_distinct),
+                    right_distinct=max(1.0, key_distinct),
+                )
+            )
+            parent_index = index
+            rows = max(2, int(rows * spec.shrink_per_level))
+
+    graph = JoinGraph(relations, predicates)
+    kind = "snowflake" if spec.hierarchy_depth > 1 else "star"
+    return Query(
+        graph=graph,
+        name=name or f"{kind}-d{spec.n_dimensions}-h{spec.hierarchy_depth}-s{seed}",
+        seed=seed,
+        metadata={
+            "schema": kind,
+            "n_dimensions": spec.n_dimensions,
+            "hierarchy_depth": spec.hierarchy_depth,
+        },
+    )
+
+
+def generate_star_benchmark(
+    spec: StarSchemaSpec,
+    n_queries: int = 10,
+    seed: int = 0,
+) -> list[Query]:
+    """A set of star/snowflake queries varying only by seed."""
+    from repro.utils.rng import derive_seed
+
+    return [
+        generate_star_query(spec, derive_seed(seed, "star-bench", index))
+        for index in range(n_queries)
+    ]

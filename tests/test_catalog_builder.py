@@ -1,0 +1,53 @@
+"""Tests for the fluent query builder."""
+
+import pytest
+
+from repro.catalog.builder import QueryBuilder
+
+
+class TestQueryBuilder:
+    def test_build_simple_query(self):
+        builder = QueryBuilder("pair")
+        a = builder.relation("A", 100)
+        b = builder.relation("B", 50)
+        builder.join(a, b, left_distinct=10, right_distinct=25)
+        query = builder.build()
+        assert query.n_joins == 1
+        assert query.graph.edge(a, b).selectivity == pytest.approx(1 / 25)
+
+    def test_relation_indices_sequential(self):
+        builder = QueryBuilder()
+        assert builder.relation("A", 10) == 0
+        assert builder.relation("B", 10) == 1
+
+    def test_selections_applied(self):
+        builder = QueryBuilder()
+        a = builder.relation("A", 1000, selections=(0.1,))
+        builder.relation("B", 10)
+        builder.join(a, 1)
+        query = builder.build()
+        assert query.graph.cardinality(a) == pytest.approx(100.0)
+
+    def test_distinct_defaults_to_cardinality(self):
+        builder = QueryBuilder()
+        a = builder.relation("A", 100)
+        b = builder.relation("B", 40)
+        builder.join(a, b)
+        predicate = builder.build().graph.edge(a, b)
+        assert predicate.left_distinct == 100
+        assert predicate.right_distinct == 40
+        assert predicate.selectivity == pytest.approx(1 / 100)
+
+    def test_join_returns_builder_for_chaining(self):
+        builder = QueryBuilder()
+        builder.relation("A", 10)
+        builder.relation("B", 10)
+        builder.relation("C", 10)
+        result = builder.join(0, 1).join(1, 2)
+        assert result is builder
+        assert result.build().n_joins == 2
+
+    def test_named_query(self):
+        builder = QueryBuilder("my-query")
+        builder.relation("A", 10)
+        assert builder.build().name == "my-query"

@@ -1,0 +1,138 @@
+"""Tests for the join graph."""
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+
+from tests.conftest import chain_graph, make_relations, star_graph
+
+
+class TestConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            JoinGraph([], [])
+
+    def test_rejects_duplicate_edges(self):
+        relations = make_relations([10, 20])
+        predicates = [JoinPredicate(0, 1, 5, 5), JoinPredicate(1, 0, 3, 3)]
+        with pytest.raises(ValueError, match="duplicate edge"):
+            JoinGraph(relations, predicates)
+
+    def test_rejects_out_of_range_edge(self):
+        with pytest.raises(ValueError, match="unknown relation"):
+            JoinGraph(make_relations([10, 20]), [JoinPredicate(0, 5, 1, 1)])
+
+    def test_single_relation_graph(self):
+        graph = JoinGraph([Relation("R", 10)], [])
+        assert graph.n_relations == 1
+        assert graph.n_joins == 0
+        assert graph.is_connected
+
+
+class TestAccessors:
+    def test_n_joins(self, chain):
+        assert chain.n_joins == chain.n_relations - 1
+
+    def test_degree_chain_ends(self, chain):
+        assert chain.degree(0) == 1
+        assert chain.degree(1) == 2
+
+    def test_degree_star_centre(self, star):
+        assert star.degree(0) == star.n_relations - 1
+
+    def test_neighbors(self, chain):
+        assert sorted(chain.neighbors(1)) == [0, 2]
+
+    def test_edge_lookup_both_directions(self, chain):
+        assert chain.edge(0, 1) is chain.edge(1, 0)
+
+    def test_has_edge(self, chain):
+        assert chain.has_edge(0, 1)
+        assert not chain.has_edge(0, 2)
+
+    def test_selectivity_missing_edge_is_one(self, chain):
+        assert chain.selectivity(0, 2) == 1.0
+
+    def test_edges_between(self, star):
+        edges = star.edges_between([1, 2, 3], 0)
+        assert len(edges) == 3
+
+    def test_cardinality_delegates_to_relation(self, chain):
+        assert chain.cardinality(0) == chain.relation(0).cardinality
+
+    def test_adjacency_map(self, chain):
+        assert set(chain.adjacency(1)) == {0, 2}
+
+
+class TestConnectivity:
+    def test_chain_is_connected(self, chain):
+        assert chain.is_connected
+        assert len(chain.components) == 1
+
+    def test_two_components(self, two_components):
+        assert not two_components.is_connected
+        assert two_components.components == ((0, 1), (2, 3, 4))
+
+    def test_subgraph_renumbers(self, two_components):
+        sub = two_components.subgraph((2, 3, 4))
+        assert sub.n_relations == 3
+        assert sub.has_edge(0, 1)
+        assert sub.has_edge(1, 2)
+        assert not sub.has_edge(0, 2)
+
+    def test_subgraph_keeps_statistics(self, two_components):
+        sub = two_components.subgraph((2, 3, 4))
+        assert sub.cardinality(0) == two_components.cardinality(2)
+        assert sub.edge(0, 1).selectivity == two_components.edge(2, 3).selectivity
+
+
+class TestSpanningTree:
+    def test_spans_all_relations(self, cycle):
+        edges = cycle.spanning_tree_edges(lambda p: p.selectivity)
+        assert len(edges) == cycle.n_relations - 1
+        covered = set()
+        for edge in edges:
+            covered |= edge.endpoints
+        assert covered == set(range(cycle.n_relations))
+
+    def test_chain_tree_is_the_chain(self, chain):
+        edges = chain.spanning_tree_edges(lambda p: p.selectivity)
+        assert len(edges) == chain.n_relations - 1
+        assert {frozenset(e.endpoints) for e in edges} == {
+            frozenset((i, i + 1)) for i in range(chain.n_relations - 1)
+        }
+
+    def test_minimum_weight_edge_always_included(self, cycle):
+        weights = {p: p.selectivity for p in cycle.predicates}
+        cheapest = min(weights, key=weights.get)
+        edges = cycle.spanning_tree_edges(lambda p: p.selectivity)
+        # Prim from the smallest relation always picks the globally
+        # cheapest edge once reachable; on a cycle the cheapest edge of the
+        # whole graph is in every MST (cut property, unique weights).
+        assert cheapest in edges or len(set(weights.values())) != len(weights)
+
+    def test_disconnected_raises(self, two_components):
+        with pytest.raises(ValueError, match="connected"):
+            two_components.spanning_tree_edges(lambda p: p.selectivity)
+
+
+class TestQuery:
+    def test_wraps_graph(self, chain):
+        query = Query(graph=chain, name="q1")
+        assert query.n_joins == chain.n_joins
+        assert "q1" in str(query)
+
+
+def test_str_mentions_counts():
+    graph = star_graph()
+    text = str(graph)
+    assert "5 relations" in text
+    assert "4 predicates" in text
+
+
+def test_chain_graph_fixture_builder_consistent():
+    graph = chain_graph([10, 20, 30])
+    assert graph.n_relations == 3
+    assert graph.has_edge(0, 1) and graph.has_edge(1, 2)

@@ -1,0 +1,45 @@
+"""Tests for join predicates."""
+
+import pytest
+
+from repro.catalog.predicates import JoinPredicate
+
+
+class TestJoinPredicate:
+    def test_selectivity_is_reciprocal_of_max_distinct(self):
+        predicate = JoinPredicate(0, 1, left_distinct=100, right_distinct=40)
+        assert predicate.selectivity == pytest.approx(1 / 100)
+
+    def test_selectivity_symmetric_in_sides(self):
+        a = JoinPredicate(0, 1, 100, 40)
+        b = JoinPredicate(0, 1, 40, 100)
+        assert a.selectivity == b.selectivity
+
+    def test_distinct_values_by_endpoint(self):
+        predicate = JoinPredicate(2, 5, 10, 20)
+        assert predicate.distinct_values(2) == 10
+        assert predicate.distinct_values(5) == 20
+
+    def test_distinct_values_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            JoinPredicate(2, 5, 10, 20).distinct_values(3)
+
+    def test_other_endpoint(self):
+        predicate = JoinPredicate(2, 5, 10, 20)
+        assert predicate.other(2) == 5
+        assert predicate.other(5) == 2
+
+    def test_other_unknown_endpoint(self):
+        with pytest.raises(KeyError):
+            JoinPredicate(2, 5, 10, 20).other(7)
+
+    def test_endpoints(self):
+        assert JoinPredicate(2, 5, 10, 20).endpoints == frozenset({2, 5})
+
+    def test_rejects_self_join(self):
+        with pytest.raises(ValueError, match="self-join"):
+            JoinPredicate(3, 3, 10, 10)
+
+    def test_rejects_nonpositive_distinct(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(0, 1, 0, 10)

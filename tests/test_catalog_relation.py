@@ -1,0 +1,53 @@
+"""Tests for relations and selections."""
+
+import pytest
+
+from repro.catalog.relation import Relation, Selection
+
+
+class TestSelection:
+    def test_holds_selectivity(self):
+        assert Selection(0.25).selectivity == 0.25
+
+    def test_rejects_zero_selectivity(self):
+        with pytest.raises(ValueError):
+            Selection(0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            Selection(1.2)
+
+
+class TestRelation:
+    def test_cardinality_without_selections(self):
+        assert Relation("R", 1000).cardinality == 1000.0
+
+    def test_cardinality_applies_selections(self):
+        relation = Relation("R", 1000).with_selections(0.1, 0.5)
+        assert relation.cardinality == pytest.approx(50.0)
+
+    def test_cardinality_floors_at_one(self):
+        relation = Relation("R", 10).with_selections(0.001)
+        assert relation.cardinality == 1.0
+
+    def test_selectivity_is_product(self):
+        relation = Relation("R", 100).with_selections(0.5, 0.5)
+        assert relation.selectivity == pytest.approx(0.25)
+
+    def test_selectivity_defaults_to_one(self):
+        assert Relation("R", 100).selectivity == 1.0
+
+    def test_rejects_nonpositive_cardinality(self):
+        with pytest.raises(ValueError):
+            Relation("R", 0)
+
+    def test_with_selections_preserves_existing(self):
+        relation = Relation("R", 100).with_selections(0.5).with_selections(0.5)
+        assert len(relation.selections) == 2
+
+    def test_is_hashable_and_frozen(self):
+        relation = Relation("R", 100)
+        assert hash(relation) == hash(Relation("R", 100))
+
+    def test_str_mentions_name(self):
+        assert "R" in str(Relation("R", 100))

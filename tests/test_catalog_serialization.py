@@ -1,0 +1,98 @@
+"""Tests for query/benchmark JSON serialization."""
+
+import json
+
+import pytest
+
+from repro.catalog.serialization import (
+    load_benchmark,
+    load_query,
+    query_from_dict,
+    query_to_dict,
+    save_benchmark,
+    save_query,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture
+def query():
+    return generate_query(DEFAULT_SPEC, n_joins=10, seed=5)
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_statistics(self, query):
+        restored = query_from_dict(query_to_dict(query))
+        original = query.graph
+        rebuilt = restored.graph
+        assert rebuilt.n_relations == original.n_relations
+        for i in range(original.n_relations):
+            assert rebuilt.cardinality(i) == original.cardinality(i)
+            assert rebuilt.relation(i).name == original.relation(i).name
+        assert len(rebuilt.predicates) == len(original.predicates)
+        for a, b in zip(original.predicates, rebuilt.predicates):
+            assert (a.left, a.right) == (b.left, b.right)
+            assert a.selectivity == b.selectivity
+
+    def test_metadata_and_seed_preserved(self, query):
+        restored = query_from_dict(query_to_dict(query))
+        assert restored.seed == query.seed
+        assert restored.metadata == query.metadata
+        assert restored.name == query.name
+
+    def test_selections_preserved(self, query):
+        restored = query_from_dict(query_to_dict(query))
+        for i in range(query.graph.n_relations):
+            assert (
+                restored.graph.relation(i).selections
+                == query.graph.relation(i).selections
+            )
+
+    def test_optimization_identical_after_round_trip(self, query, tmp_path):
+        from repro.core.optimizer import optimize
+
+        path = tmp_path / "query.json"
+        save_query(query, path)
+        restored = load_query(path)
+        a = optimize(query, method="AGI", time_factor=1, units_per_n2=5, seed=1)
+        b = optimize(restored, method="AGI", time_factor=1, units_per_n2=5, seed=1)
+        assert a.cost == b.cost
+        assert a.order == b.order
+
+
+class TestFiles:
+    def test_save_load_query(self, query, tmp_path):
+        path = tmp_path / "q.json"
+        save_query(query, path)
+        assert load_query(path).graph.n_relations == query.graph.n_relations
+
+    def test_file_is_valid_json(self, query, tmp_path):
+        path = tmp_path / "q.json"
+        save_query(query, path)
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+
+    def test_save_load_benchmark(self, tmp_path):
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10,), queries_per_n=3, seed=1
+        )
+        path = tmp_path / "bench.json"
+        save_benchmark(queries, path)
+        restored = load_benchmark(path)
+        assert len(restored) == 3
+        assert [q.name for q in restored] == [q.name for q in queries]
+
+
+class TestErrors:
+    def test_unknown_query_version(self, query):
+        data = query_to_dict(query)
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="version 99"):
+            query_from_dict(data)
+
+    def test_unknown_benchmark_version(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format_version": 0, "queries": []}))
+        with pytest.raises(ValueError, match="version 0"):
+            load_benchmark(path)

@@ -1,0 +1,154 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestMethodsCommand:
+    def test_lists_methods(self, capsys):
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "IAI" in out and "SA" in out and "AUG3" in out
+
+
+class TestBenchmarksCommand:
+    def test_lists_ten_specs(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 10
+        assert "star" in out and "chain" in out
+
+
+class TestOptimizeCommand:
+    def test_runs_and_reports(self, capsys):
+        code = main(
+            ["optimize", "--joins", "10", "--time-factor", "1", "--seed", "3"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cost" in out
+        assert "IAI" in out
+
+    def test_explain_prints_tree(self, capsys):
+        main(
+            [
+                "optimize",
+                "--joins",
+                "8",
+                "--time-factor",
+                "1",
+                "--explain",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "hash join" in out
+
+    def test_disk_model(self, capsys):
+        assert (
+            main(
+                [
+                    "optimize",
+                    "--joins",
+                    "8",
+                    "--time-factor",
+                    "1",
+                    "--model",
+                    "disk",
+                ]
+            )
+            == 0
+        )
+
+    def test_unknown_method_raises(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            main(["optimize", "--joins", "8", "--method", "NOPE"])
+
+
+class TestCompareCommand:
+    def test_league_table(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--joins",
+                "8",
+                "--time-factor",
+                "1",
+                "--methods",
+                "II",
+                "AGI",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "II" in out and "AGI" in out and "scaled" in out
+
+    def test_validates_method_names_before_running(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            main(["compare", "--joins", "8", "--methods", "II", "BOGUS"])
+
+
+class TestExperimentCommand:
+    def test_table1_tiny(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "table1",
+                "--n-values",
+                "10",
+                "--queries-per-n",
+                "1",
+                "--units-per-n2",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AUG3" in out
+
+    def test_table3_tiny(self, capsys):
+        code = main(
+            [
+                "experiment",
+                "table3",
+                "--n-values",
+                "10",
+                "--queries-per-n",
+                "1",
+                "--units-per-n2",
+                "3",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Bench" in out and "IAI" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table9"])
+
+
+class TestExactCommand:
+    def test_reports_optimum(self, capsys):
+        assert main(["exact", "--joins", "8", "--seed", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "optimal order" in out
+        assert "subsets explored" in out
+
+    def test_refuses_large_n(self):
+        with pytest.raises(ValueError, match="subsets"):
+            main(["exact", "--joins", "20", "--max-relations", "16"])
+
+
+class TestLandscapeCommand:
+    def test_reports_distribution(self, capsys):
+        assert main(["landscape", "--joins", "10", "--samples", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "spread" in out
+        assert "within 2x" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,126 @@
+"""Tests for simulated annealing."""
+
+import random
+
+import pytest
+
+from repro.core.annealing import (
+    AnnealingSchedule,
+    initial_temperature,
+    simulated_annealing,
+)
+from repro.core.budget import Budget
+from repro.core.moves import MoveSet
+from repro.core.state import Evaluator
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import valid_orders
+
+from tests.conftest import star_graph
+
+
+def make_evaluator(graph, limit=1e6):
+    return Evaluator(graph, MainMemoryCostModel(), Budget(limit=limit))
+
+
+class TestSchedule:
+    def test_defaults_valid(self):
+        schedule = AnnealingSchedule()
+        assert schedule.size_factor >= 1
+        assert 0 < schedule.temp_factor < 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"size_factor": 0},
+            {"temp_factor": 1.0},
+            {"temp_factor": 0.0},
+            {"initial_acceptance": 0.0},
+        ],
+    )
+    def test_rejects_bad_parameters(self, kwargs):
+        with pytest.raises(ValueError):
+            AnnealingSchedule(**kwargs)
+
+
+class TestInitialTemperature:
+    def test_positive(self, chain):
+        evaluator = make_evaluator(chain)
+        start = JoinOrder([0, 1, 2, 3, 4])
+        start_cost = evaluator.evaluate(start)
+        temperature = initial_temperature(
+            start,
+            start_cost,
+            evaluator,
+            MoveSet(),
+            random.Random(0),
+            AnnealingSchedule(),
+        )
+        assert temperature > 0
+
+    def test_higher_acceptance_means_higher_temperature(self, chain):
+        evaluator = make_evaluator(chain)
+        start = JoinOrder([0, 1, 2, 3, 4])
+        start_cost = evaluator.evaluate(start)
+        low = initial_temperature(
+            start, start_cost, evaluator, MoveSet(), random.Random(0),
+            AnnealingSchedule(initial_acceptance=0.2),
+        )
+        high = initial_temperature(
+            start, start_cost, evaluator, MoveSet(), random.Random(0),
+            AnnealingSchedule(initial_acceptance=0.8),
+        )
+        assert high > low
+
+
+class TestSimulatedAnnealing:
+    def test_returns_best_visited(self, star):
+        evaluator = make_evaluator(star, limit=50_000)
+        result = simulated_annealing(
+            JoinOrder([0, 1, 2, 3, 4]), evaluator, MoveSet(), random.Random(0)
+        )
+        assert result.cost == evaluator.best.cost
+
+    def test_finds_optimum_on_tiny_graph(self):
+        graph = star_graph([1000, 10, 20, 30])
+        best = min(
+            MainMemoryCostModel().plan_cost(order, graph)
+            for order in valid_orders(graph)
+        )
+        evaluator = make_evaluator(graph, limit=200_000)
+        result = simulated_annealing(
+            JoinOrder([0, 1, 2, 3]), evaluator, MoveSet(), random.Random(2)
+        )
+        assert result.cost == pytest.approx(best)
+
+    def test_budget_bounded(self, medium_query):
+        evaluator = Evaluator(
+            medium_query.graph, MainMemoryCostModel(), Budget(limit=400)
+        )
+        result = simulated_annealing(
+            _some_valid_order(medium_query.graph),
+            evaluator,
+            MoveSet(),
+            random.Random(0),
+        )
+        assert result is not None
+        assert evaluator.budget.spent <= 400
+
+    def test_freezes_eventually(self, star):
+        """Terminates with a generous but finite budget."""
+        evaluator = make_evaluator(star, limit=5e5)
+        result = simulated_annealing(
+            JoinOrder([0, 1, 2, 3, 4]),
+            evaluator,
+            MoveSet(),
+            random.Random(7),
+            AnnealingSchedule(size_factor=2, temp_factor=0.8),
+        )
+        assert not evaluator.budget.exhausted
+        assert result.cost <= evaluator.trajectory[0][1]
+
+
+def _some_valid_order(graph):
+    from repro.plans.validity import random_valid_order
+
+    return random_valid_order(graph, random.Random(9))

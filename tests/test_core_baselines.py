@@ -1,0 +1,72 @@
+"""Tests for the SG88 baseline methods (RANDOM, WALK)."""
+
+import pytest
+
+from repro.core.optimizer import optimize
+from repro.plans.validity import is_valid_order
+
+
+class TestRandomSampling:
+    def test_produces_valid_plan(self, small_query):
+        result = optimize(
+            small_query, method="RANDOM", time_factor=1, units_per_n2=5, seed=1
+        )
+        assert is_valid_order(result.order, small_query.graph)
+
+    def test_uses_whole_budget(self, small_query):
+        n = small_query.n_joins
+        result = optimize(
+            small_query, method="RANDOM", time_factor=1, units_per_n2=5, seed=1
+        )
+        assert result.units_spent == pytest.approx(1 * n * n * 5)
+
+    def test_more_samples_never_worse(self, small_query):
+        short = optimize(
+            small_query, method="RANDOM", time_factor=0.5, units_per_n2=5, seed=4
+        )
+        long = optimize(
+            small_query, method="RANDOM", time_factor=5, units_per_n2=5, seed=4
+        )
+        assert long.cost <= short.cost
+
+    def test_evaluation_count_matches_budget(self, small_query):
+        n = small_query.n_joins
+        result = optimize(
+            small_query, method="RANDOM", time_factor=1, units_per_n2=5, seed=2
+        )
+        assert result.n_evaluations == int(1 * n * n * 5 // n)
+
+
+class TestPerturbationWalk:
+    def test_produces_valid_plan(self, small_query):
+        result = optimize(
+            small_query, method="WALK", time_factor=1, units_per_n2=5, seed=1
+        )
+        assert is_valid_order(result.order, small_query.graph)
+
+    def test_deterministic(self, small_query):
+        a = optimize(small_query, method="WALK", time_factor=1, units_per_n2=5, seed=3)
+        b = optimize(small_query, method="WALK", time_factor=1, units_per_n2=5, seed=3)
+        assert a.cost == b.cost and a.order == b.order
+
+    def test_walk_differs_from_sampling(self, small_query):
+        walk = optimize(
+            small_query, method="WALK", time_factor=1, units_per_n2=5, seed=3
+        )
+        sampling = optimize(
+            small_query, method="RANDOM", time_factor=1, units_per_n2=5, seed=3
+        )
+        assert walk.trajectory != sampling.trajectory
+
+
+class TestBaselinesLoseToII:
+    def test_ii_beats_baselines_given_time(self, medium_query):
+        """SG88's core finding at miniature scale."""
+        costs = {
+            method: optimize(
+                medium_query, method=method, time_factor=5, units_per_n2=10, seed=0
+            ).cost
+            for method in ("II", "RANDOM", "WALK")
+        }
+        assert costs["II"] <= costs["RANDOM"]
+        assert costs["II"] <= costs["WALK"]

@@ -1,0 +1,62 @@
+"""Tests for the optimization budget (the abstract clock)."""
+
+import math
+
+import pytest
+
+from repro.core.budget import Budget, BudgetExhausted
+
+
+class TestBudget:
+    def test_charge_accumulates(self):
+        budget = Budget(limit=10)
+        budget.charge(3)
+        budget.charge(4)
+        assert budget.spent == 7
+        assert budget.remaining == 3
+
+    def test_charge_beyond_limit_raises(self):
+        budget = Budget(limit=10)
+        budget.charge(9)
+        with pytest.raises(BudgetExhausted):
+            budget.charge(2)
+
+    def test_exhausting_charge_pins_spent_to_limit(self):
+        budget = Budget(limit=10)
+        with pytest.raises(BudgetExhausted):
+            budget.charge(11)
+        assert budget.spent == 10
+        assert budget.exhausted
+
+    def test_exact_limit_allowed(self):
+        budget = Budget(limit=10)
+        budget.charge(10)
+        assert budget.exhausted
+        assert budget.remaining == 0
+
+    def test_can_afford(self):
+        budget = Budget(limit=10)
+        budget.charge(6)
+        assert budget.can_afford(4)
+        assert not budget.can_afford(5)
+
+    def test_rejects_nonpositive_limit(self):
+        with pytest.raises(ValueError):
+            Budget(limit=0)
+
+    def test_for_query_scales_with_n_squared(self):
+        a = Budget.for_query(10, time_factor=1.0, units_per_n2=2.0)
+        b = Budget.for_query(20, time_factor=1.0, units_per_n2=2.0)
+        assert b.limit == pytest.approx(4 * a.limit)
+        assert a.limit == pytest.approx(200.0)
+
+    def test_for_query_scales_with_factor(self):
+        a = Budget.for_query(10, time_factor=1.5)
+        b = Budget.for_query(10, time_factor=3.0)
+        assert b.limit == pytest.approx(2 * a.limit)
+
+    def test_unlimited_never_exhausts(self):
+        budget = Budget.unlimited()
+        budget.charge(1e18)
+        assert not budget.exhausted
+        assert budget.remaining == math.inf

@@ -1,0 +1,77 @@
+"""Tests for the lower-bound early-stopping rule."""
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.optimizer import optimize
+from repro.core.state import Evaluator, TargetReached
+from repro.cost.bounds import lower_bound
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+
+
+class TestEvaluatorTarget:
+    def test_raises_when_target_met(self, chain):
+        model = MainMemoryCostModel()
+        order = JoinOrder([0, 1, 2, 3, 4])
+        cost = model.plan_cost(order, chain)
+        evaluator = Evaluator(
+            chain, model, Budget(limit=1e9), target_cost=cost + 1
+        )
+        with pytest.raises(TargetReached):
+            evaluator.evaluate(order)
+        # The solution is still recorded before the exception.
+        assert evaluator.best is not None
+        assert evaluator.best.cost == pytest.approx(cost)
+
+    def test_no_raise_above_target(self, chain):
+        model = MainMemoryCostModel()
+        order = JoinOrder([0, 1, 2, 3, 4])
+        cost = model.plan_cost(order, chain)
+        evaluator = Evaluator(
+            chain, model, Budget(limit=1e9), target_cost=cost / 2
+        )
+        assert evaluator.evaluate(order) == pytest.approx(cost)
+
+    def test_none_target_never_raises(self, chain):
+        evaluator = Evaluator(chain, MainMemoryCostModel(), Budget(limit=1e9))
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+
+
+class TestOptimizeStopAtBound:
+    def test_early_stop_spends_less(self, small_query):
+        full = optimize(
+            small_query, method="II", time_factor=9, units_per_n2=10, seed=2
+        )
+        stopped = optimize(
+            small_query,
+            method="II",
+            time_factor=9,
+            units_per_n2=10,
+            seed=2,
+            stop_at_bound=True,
+            bound_tolerance=1e6,  # absurdly generous: stops immediately
+        )
+        assert stopped.units_spent <= full.units_spent
+        assert stopped.n_evaluations <= 2
+
+    def test_tight_bound_changes_nothing(self, small_query):
+        """An unreachable target (tolerance 1.0 on a loose bound) leaves
+        the run identical to the plain one."""
+        bound = lower_bound(small_query.graph, MainMemoryCostModel())
+        assert bound > 0
+        plain = optimize(
+            small_query, method="AGI", time_factor=1, units_per_n2=5, seed=2
+        )
+        guarded = optimize(
+            small_query,
+            method="AGI",
+            time_factor=1,
+            units_per_n2=5,
+            seed=2,
+            stop_at_bound=True,
+            bound_tolerance=1.0,
+        )
+        if guarded.cost > bound:  # target never met
+            assert guarded.cost == plain.cost
+            assert guarded.n_evaluations == plain.n_evaluations

@@ -1,0 +1,128 @@
+"""Tests for iterative improvement."""
+
+import random
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.iterative import (
+    default_patience,
+    improvement_run,
+    multi_start_improvement,
+)
+from repro.core.moves import MoveSet
+from repro.core.state import Evaluator
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import random_valid_order, valid_orders
+
+from tests.conftest import star_graph
+
+
+def make_evaluator(graph, limit=1e6):
+    return Evaluator(graph, MainMemoryCostModel(), Budget(limit=limit))
+
+
+class TestDefaultPatience:
+    def test_floors_at_16(self):
+        assert default_patience(3) == 16
+
+    def test_scales_with_relations(self):
+        assert default_patience(50) == 100
+
+
+class TestImprovementRun:
+    def test_never_worse_than_start(self, chain):
+        evaluator = make_evaluator(chain)
+        start = JoinOrder([4, 3, 2, 1, 0])
+        start_cost = MainMemoryCostModel().plan_cost(start, chain)
+        local = improvement_run(start, evaluator, MoveSet(), random.Random(0))
+        assert local.cost <= start_cost
+
+    def test_reaches_global_optimum_on_tiny_star(self):
+        graph = star_graph([1000, 10, 20, 30])
+        best = min(
+            MainMemoryCostModel().plan_cost(order, graph)
+            for order in valid_orders(graph)
+        )
+        evaluator = make_evaluator(graph)
+        local = improvement_run(
+            JoinOrder([0, 1, 2, 3]),
+            evaluator,
+            MoveSet(),
+            random.Random(3),
+            patience=200,
+        )
+        assert local.cost == pytest.approx(best)
+
+    def test_respects_budget(self, medium_query):
+        from repro.core.budget import BudgetExhausted
+
+        evaluator = Evaluator(
+            medium_query.graph, MainMemoryCostModel(), Budget(limit=100)
+        )
+        rng = random.Random(0)
+        start = random_valid_order(medium_query.graph, rng)
+        with pytest.raises(BudgetExhausted):
+            improvement_run(start, evaluator, MoveSet(), rng, patience=10_000)
+        assert evaluator.budget.spent == 100
+
+    def test_result_is_local_minimum_ish(self, star):
+        """With high patience, the result is a true local minimum."""
+        evaluator = make_evaluator(star)
+        move_set = MoveSet()
+        local = improvement_run(
+            JoinOrder([0, 1, 2, 3, 4]),
+            evaluator,
+            move_set,
+            random.Random(1),
+            patience=500,
+        )
+        model = MainMemoryCostModel()
+        for neighbor in move_set.neighbors(local.order, star):
+            assert model.plan_cost(neighbor, star) >= local.cost - 1e-9
+
+    def test_reuses_start_cost_when_given(self, chain):
+        evaluator = make_evaluator(chain)
+        start = JoinOrder([0, 1, 2, 3, 4])
+        cost = evaluator.evaluate(start)
+        n_before = evaluator.n_evaluations
+        improvement_run(
+            start,
+            evaluator,
+            MoveSet(),
+            random.Random(0),
+            patience=1,
+            start_cost=cost,
+        )
+        # Only the neighbor evaluation happened, not a re-evaluation of start.
+        assert evaluator.n_evaluations == n_before + 1
+
+
+class TestMultiStart:
+    def test_returns_best_of_runs(self, star):
+        evaluator = make_evaluator(star, limit=2000)
+        rng = random.Random(5)
+        starts = (random_valid_order(star, rng) for _ in iter(int, 1))
+        best = multi_start_improvement(starts, evaluator, MoveSet(), rng)
+        assert best is not None
+        assert best.cost == evaluator.best.cost
+
+    def test_stops_on_budget(self, medium_query):
+        evaluator = Evaluator(
+            medium_query.graph, MainMemoryCostModel(), Budget(limit=500)
+        )
+        rng = random.Random(5)
+        starts = (
+            random_valid_order(medium_query.graph, rng) for _ in iter(int, 1)
+        )
+        best = multi_start_improvement(starts, evaluator, MoveSet(), rng)
+        assert best is not None
+        assert evaluator.budget.exhausted
+
+    def test_empty_starts_returns_none(self, chain):
+        evaluator = make_evaluator(chain)
+        assert (
+            multi_start_improvement(iter(()), evaluator, MoveSet(), random.Random(0))
+            is None
+        )

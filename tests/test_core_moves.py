@@ -1,0 +1,93 @@
+"""Tests for the move set over valid join orders."""
+
+import random
+
+import pytest
+
+from repro.core.moves import MoveSet, NoValidMove
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import is_valid_order, valid_orders
+
+from tests.conftest import chain_graph, star_graph
+
+
+class TestPropose:
+    def test_swap_only(self):
+        move_set = MoveSet(swap_probability=1.0)
+        order = JoinOrder([0, 1, 2, 3])
+        rng = random.Random(0)
+        for _ in range(20):
+            candidate = move_set.propose(order, rng)
+            # A swap differs from the original in exactly two positions.
+            diffs = sum(
+                1 for a, b in zip(order.positions, candidate.positions) if a != b
+            )
+            assert diffs == 2
+
+    def test_insert_only_is_permutation(self):
+        move_set = MoveSet(swap_probability=0.0)
+        order = JoinOrder([0, 1, 2, 3])
+        rng = random.Random(0)
+        for _ in range(20):
+            candidate = move_set.propose(order, rng)
+            assert sorted(candidate.positions) == [0, 1, 2, 3]
+            assert candidate != order
+
+    def test_too_short_raises(self):
+        with pytest.raises(NoValidMove):
+            MoveSet().propose(JoinOrder([0]), random.Random(0))
+
+
+class TestRandomNeighbor:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_valid(self, chain, seed):
+        move_set = MoveSet()
+        rng = random.Random(seed)
+        order = JoinOrder([0, 1, 2, 3, 4])
+        for _ in range(30):
+            order = move_set.random_neighbor(order, chain, rng)
+            assert is_valid_order(order, chain)
+
+    def test_differs_from_input(self, star):
+        move_set = MoveSet()
+        rng = random.Random(1)
+        order = JoinOrder([0, 1, 2, 3, 4])
+        assert move_set.random_neighbor(order, star, rng) != order
+
+    def test_gives_up_when_no_neighbor_exists(self):
+        # A 2-chain has exactly two valid orders; both are each other's
+        # neighbors, so moves always succeed.  A single pathological case
+        # is a graph whose only valid order is unique: impossible with
+        # n >= 2, so force failure with max_tries=0 rejected instead.
+        with pytest.raises(ValueError):
+            MoveSet(max_tries=0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            MoveSet(swap_probability=1.5)
+
+
+class TestReachability:
+    def test_moves_reach_every_valid_order(self):
+        """BFS over the move graph covers the whole valid space."""
+        graph = star_graph([50, 10, 20, 30])
+        move_set = MoveSet()
+        all_valid = set(valid_orders(graph))
+        start = next(iter(all_valid))
+        seen = {start}
+        frontier = [start]
+        while frontier:
+            order = frontier.pop()
+            for neighbor in move_set.neighbors(order, graph):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        assert seen == all_valid
+
+    def test_neighbors_are_valid_and_distinct(self, chain):
+        move_set = MoveSet()
+        order = JoinOrder([0, 1, 2, 3, 4])
+        neighbors = list(move_set.neighbors(order, chain))
+        assert len(neighbors) == len(set(neighbors))
+        assert all(is_valid_order(n, chain) for n in neighbors)
+        assert order not in neighbors

@@ -1,0 +1,70 @@
+"""Tests for the budget-charging evaluator."""
+
+import pytest
+
+from repro.core.budget import Budget, BudgetExhausted
+from repro.core.state import Evaluator
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+
+
+@pytest.fixture
+def evaluator(chain):
+    return Evaluator(chain, MainMemoryCostModel(), Budget(limit=100))
+
+
+class TestEvaluate:
+    def test_charges_n_joins_units(self, evaluator, chain):
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+        assert evaluator.budget.spent == chain.n_joins
+
+    def test_counts_evaluations(self, evaluator):
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+        evaluator.evaluate(JoinOrder([4, 3, 2, 1, 0]))
+        assert evaluator.n_evaluations == 2
+
+    def test_matches_model_cost(self, evaluator, chain):
+        order = JoinOrder([0, 1, 2, 3, 4])
+        cost = evaluator.evaluate(order)
+        assert cost == pytest.approx(MainMemoryCostModel().plan_cost(order, chain))
+
+    def test_raises_when_budget_out(self, chain):
+        evaluator = Evaluator(chain, MainMemoryCostModel(), Budget(limit=7))
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))  # 4 units
+        with pytest.raises(BudgetExhausted):
+            evaluator.evaluate(JoinOrder([4, 3, 2, 1, 0]))  # would be 8
+
+
+class TestBestTracking:
+    def test_best_is_minimum(self, evaluator):
+        cost_a = evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+        cost_b = evaluator.evaluate(JoinOrder([4, 3, 2, 1, 0]))
+        assert evaluator.best.cost == min(cost_a, cost_b)
+
+    def test_trajectory_records_improvements_only(self, evaluator):
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+        first_len = len(evaluator.trajectory)
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))  # same cost: no entry
+        assert len(evaluator.trajectory) == first_len
+
+    def test_trajectory_costs_decrease(self, evaluator):
+        for order in (
+            JoinOrder([0, 1, 2, 3, 4]),
+            JoinOrder([4, 3, 2, 1, 0]),
+            JoinOrder([2, 1, 0, 3, 4]),
+            JoinOrder([2, 3, 4, 1, 0]),
+        ):
+            evaluator.evaluate(order)
+        costs = [cost for _, cost in evaluator.trajectory]
+        assert costs == sorted(costs, reverse=True)
+        spents = [spent for spent, _ in evaluator.trajectory]
+        assert spents == sorted(spents)
+
+    def test_best_cost_within(self, evaluator):
+        evaluator.evaluate(JoinOrder([0, 1, 2, 3, 4]))
+        evaluator.evaluate(JoinOrder([4, 3, 2, 1, 0]))
+        final = evaluator.best.cost
+        assert evaluator.best_cost_within(1e9) == final
+        assert evaluator.best_cost_within(0.0) is None
+        first_spent, first_cost = evaluator.trajectory[0]
+        assert evaluator.best_cost_within(first_spent) == first_cost

@@ -1,0 +1,73 @@
+"""Tests for the 2PO demonstration strategy and the wall-clock budget."""
+
+import pytest
+
+from repro.core.budget import Budget, BudgetExhausted, WallClockBudget
+from repro.core.optimizer import optimize
+from repro.plans.validity import is_valid_order
+
+
+class TestTwoPhase:
+    def test_registered(self):
+        from repro.core.combinations import make_strategy
+
+        strategy = make_strategy("2PO")
+        assert strategy.name == "2PO"
+        assert "SA" in strategy.description or "anneal" in strategy.description
+
+    def test_produces_valid_plan(self, small_query):
+        result = optimize(
+            small_query, method="2PO", time_factor=2, units_per_n2=10, seed=1
+        )
+        assert is_valid_order(result.order, small_query.graph)
+
+    def test_competitive_with_ii(self, small_query):
+        two_phase = optimize(
+            small_query, method="2PO", time_factor=5, units_per_n2=10, seed=2
+        )
+        ii = optimize(
+            small_query, method="II", time_factor=5, units_per_n2=10, seed=2
+        )
+        assert two_phase.cost <= ii.cost * 1.5
+
+    def test_deterministic(self, small_query):
+        a = optimize(small_query, method="2PO", time_factor=2, units_per_n2=10, seed=5)
+        b = optimize(small_query, method="2PO", time_factor=2, units_per_n2=10, seed=5)
+        assert a.cost == b.cost and a.order == b.order
+
+    def test_respects_budget(self, small_query):
+        n = small_query.n_joins
+        result = optimize(
+            small_query, method="2PO", time_factor=2, units_per_n2=10, seed=1
+        )
+        assert result.units_spent <= 2 * n * n * 10 + 1e-9
+
+
+class TestWallClockBudget:
+    def test_exhausts_by_time(self):
+        ticks = iter([0.0, 0.1, 0.2, 0.9, 1.5, 2.0])
+        budget = WallClockBudget(seconds=1.0, clock=lambda: next(ticks))
+        budget.charge(5)  # elapsed 0.1
+        budget.charge(5)  # elapsed 0.2
+        budget.charge(5)  # elapsed 0.9
+        with pytest.raises(BudgetExhausted):
+            budget.charge(5)  # elapsed 1.5
+        assert budget.spent == 15
+
+    def test_remaining_in_seconds(self):
+        ticks = iter([0.0, 0.25])
+        budget = WallClockBudget(seconds=1.0, clock=lambda: next(ticks))
+        assert budget.remaining == pytest.approx(0.75)
+
+    def test_rejects_nonpositive_seconds(self):
+        with pytest.raises(ValueError):
+            WallClockBudget(seconds=0)
+
+    def test_optimize_with_wall_clock(self, small_query):
+        budget = WallClockBudget(seconds=0.2)
+        result = optimize(small_query, method="II", budget=budget, seed=1)
+        assert result.cost > 0
+        assert budget.elapsed >= 0.2 or result.n_evaluations > 0
+
+    def test_is_a_budget(self):
+        assert isinstance(WallClockBudget(seconds=1.0), Budget)

@@ -1,0 +1,117 @@
+"""Tests for cost-model calibration ([Swa89a] methodology)."""
+
+import pytest
+
+from repro.cost.calibration import (
+    DEFAULT_GRID,
+    JoinObservation,
+    calibrate_memory_model,
+    fit_constants,
+    measure_hash_join,
+)
+
+
+def synthetic_observations(build, probe, output, grid=DEFAULT_GRID):
+    observations = []
+    for outer, inner in grid:
+        result = outer * inner / max(outer, inner)  # plausible match count
+        measured = build * inner + probe * outer + output * result
+        observations.append(
+            JoinObservation(float(outer), float(inner), float(result), measured)
+        )
+    return observations
+
+
+class TestFitConstants:
+    def test_recovers_ground_truth(self):
+        fitted = fit_constants(synthetic_observations(1.2, 1.0, 1.5))
+        assert fitted[0] == pytest.approx(1.2, rel=1e-6)
+        assert fitted[1] == pytest.approx(1.0, rel=1e-6)
+        assert fitted[2] == pytest.approx(1.5, rel=1e-6)
+
+    def test_recovers_skewed_constants(self):
+        fitted = fit_constants(synthetic_observations(5.0, 0.1, 2.5))
+        assert fitted[0] == pytest.approx(5.0, rel=1e-6)
+        assert fitted[2] == pytest.approx(2.5, rel=1e-6)
+
+    def test_robust_to_small_noise(self):
+        import random
+
+        rng = random.Random(0)
+        noisy = [
+            JoinObservation(
+                o.outer_size,
+                o.inner_size,
+                o.result_size,
+                o.measured * (1 + rng.uniform(-0.02, 0.02)),
+            )
+            for o in synthetic_observations(1.2, 1.0, 1.5)
+        ]
+        fitted = fit_constants(noisy)
+        assert fitted[0] == pytest.approx(1.2, rel=0.2)
+        assert fitted[2] == pytest.approx(1.5, rel=0.2)
+
+    def test_needs_three_observations(self):
+        with pytest.raises(ValueError, match="three observations"):
+            fit_constants(synthetic_observations(1, 1, 1)[:2])
+
+    def test_degenerate_grid_rejected(self):
+        same = [JoinObservation(10.0, 10.0, 10.0, 30.0)] * 5
+        with pytest.raises(ValueError, match="singular"):
+            fit_constants(same)
+
+    def test_constants_floored_positive(self):
+        """A term that contributes nothing fits to ~0, floored positive."""
+        observations = []
+        for outer, inner in DEFAULT_GRID:
+            result = outer * inner / max(outer, inner)
+            observations.append(
+                JoinObservation(
+                    float(outer),
+                    float(inner),
+                    float(result),
+                    2.0 * inner + 1.0 * outer,  # zero output term
+                )
+            )
+        fitted = fit_constants(observations)
+        assert fitted[2] > 0
+
+
+class TestMeasureHashJoin:
+    def test_measures_positive_time(self):
+        observation = measure_hash_join(200, 200)
+        assert observation.measured > 0
+        assert observation.result_size >= 0
+
+    def test_records_sizes(self):
+        observation = measure_hash_join(300, 100)
+        assert observation.outer_size == 300
+        assert observation.inner_size == 100
+
+
+class TestCalibrateMemoryModel:
+    def test_with_injected_measure(self):
+        def fake_measure(outer, inner):
+            result = outer * inner / max(outer, inner)
+            return JoinObservation(
+                float(outer),
+                float(inner),
+                float(result),
+                (3e-6 * inner + 2e-6 * outer + 4e-6 * result),
+            )
+
+        model = calibrate_memory_model(measure=fake_measure, repeats=1)
+        # scale=1e6 turns the fake per-tuple seconds into unit costs.
+        assert model.build_cost == pytest.approx(3.0, rel=1e-6)
+        assert model.probe_cost == pytest.approx(2.0, rel=1e-6)
+        assert model.output_cost == pytest.approx(4.0, rel=1e-6)
+
+    def test_real_engine_calibration_smoke(self):
+        """End-to-end: constants from actual engine timings are positive
+        and the model prices plans."""
+        model = calibrate_memory_model(
+            grid=((300, 300), (1200, 300), (300, 1200), (1200, 1200)),
+            repeats=1,
+        )
+        assert model.build_cost > 0
+        assert model.join_cost(100, 100, 50) > 0

@@ -1,0 +1,128 @@
+"""Tests for cardinality estimation and distinct-value propagation."""
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.cost.cardinality import (
+    PlanEstimator,
+    combined_selectivity,
+    join_result_cardinality,
+    prefix_cardinalities,
+    walk_plan,
+)
+from repro.plans.join_order import JoinOrder
+
+from tests.conftest import chain_graph, make_relations
+
+
+class TestStaticHelpers:
+    def test_combined_selectivity_empty_is_one(self):
+        assert combined_selectivity([]) == 1.0
+
+    def test_combined_selectivity_multiplies(self):
+        predicates = [JoinPredicate(0, 1, 10, 5), JoinPredicate(0, 2, 4, 20)]
+        assert combined_selectivity(predicates) == pytest.approx(
+            (1 / 10) * (1 / 20)
+        )
+
+    def test_join_result_cardinality(self):
+        predicate = JoinPredicate(0, 1, 100, 50)
+        assert join_result_cardinality(1000, 200, [predicate]) == pytest.approx(
+            1000 * 200 / 100
+        )
+
+    def test_join_result_clamped_at_one(self):
+        predicate = JoinPredicate(0, 1, 1000, 1000)
+        assert join_result_cardinality(2, 3, [predicate]) == 1.0
+
+    def test_cross_product_cardinality(self):
+        assert join_result_cardinality(10, 20, []) == 200.0
+
+
+class TestPrefixCardinalities:
+    def test_first_entry_is_first_relation(self, chain):
+        sizes = prefix_cardinalities(JoinOrder([2, 1, 0, 3, 4]), chain)
+        assert sizes[0] == chain.cardinality(2)
+        assert len(sizes) == chain.n_relations
+
+    def test_sizes_at_least_one(self, chain):
+        sizes = prefix_cardinalities(JoinOrder([0, 1, 2, 3, 4]), chain)
+        assert all(size >= 1.0 for size in sizes)
+
+    def test_simple_chain_math(self):
+        graph = chain_graph([100, 200, 300])
+        # Edge distinct values: (50, 100) and (100, 150).
+        sizes = prefix_cardinalities(JoinOrder([0, 1, 2]), graph)
+        assert sizes[0] == 100.0
+        assert sizes[1] == pytest.approx(100 * 200 / 100)
+        # Join 2: intermediate carries R1's column (distinct 100, capped by
+        # size 200 -> stays 100); inner distinct 150 -> J = 1/150.
+        assert sizes[2] == pytest.approx(200 * 300 / 150)
+
+
+class TestDistinctPropagation:
+    @staticmethod
+    def _capping_graph() -> JoinGraph:
+        """R0 tiny; joining R0 first caps R1's 500-distinct column."""
+        relations = make_relations([10, 1000, 2000])
+        predicates = [
+            JoinPredicate(0, 1, 10, 400),
+            JoinPredicate(1, 2, 500, 500),
+        ]
+        return JoinGraph(relations, predicates)
+
+    def test_cap_inflates_later_join(self):
+        graph = self._capping_graph()
+        # Order (0 1 2): after joining R0 |><| R1 the intermediate has
+        # 10*1000/400 = 25 tuples, capping R1's 500-distinct column at 25.
+        # The last join then sees J = 1/max(25, 500) = 1/500 (inner side
+        # dominates) -> no inflation from this direction...
+        sizes_01 = prefix_cardinalities(JoinOrder([0, 1, 2]), graph)
+        assert sizes_01[1] == pytest.approx(25.0)
+        assert sizes_01[2] == pytest.approx(25 * 2000 / 500)
+
+    def test_cap_binds_when_outer_side_dominates(self):
+        relations = make_relations([10, 1000, 2000])
+        predicates = [
+            JoinPredicate(0, 1, 10, 400),
+            JoinPredicate(1, 2, 500, 100),  # outer side has MORE distinct
+        ]
+        graph = JoinGraph(relations, predicates)
+        sizes = prefix_cardinalities(JoinOrder([0, 1, 2]), graph)
+        # Intermediate size 25 caps R1's 500 down to 25; J becomes
+        # 1/max(25, 100) = 1/100 instead of the base 1/500.
+        assert sizes[2] == pytest.approx(25 * 2000 / 100)
+        # Without the cap the estimate would have been 25 * 2000 / 500.
+        assert sizes[2] > 25 * 2000 / 500
+
+    def test_opposite_order_avoids_cap(self):
+        relations = make_relations([10, 1000, 2000])
+        predicates = [
+            JoinPredicate(0, 1, 10, 400),
+            JoinPredicate(1, 2, 500, 100),
+        ]
+        graph = JoinGraph(relations, predicates)
+        # Joining R2 first consumes the 500-distinct column before any
+        # small intermediate can cap it.
+        sizes = prefix_cardinalities(JoinOrder([2, 1, 0]), graph)
+        assert sizes[1] == pytest.approx(2000 * 1000 / 500)
+
+    def test_estimator_rejects_duplicate_step(self, chain):
+        estimator = PlanEstimator(chain, 0)
+        estimator.step(1)
+        with pytest.raises(ValueError, match="already placed"):
+            estimator.step(1)
+
+    def test_walk_plan_matches_prefix_sizes(self, cycle):
+        order = JoinOrder([0, 1, 2, 3])
+        steps = walk_plan(order, cycle)
+        sizes = prefix_cardinalities(order, cycle)
+        assert [step.result_size for step in steps] == sizes[1:]
+
+    def test_cycle_uses_all_predicates(self, cycle):
+        order = JoinOrder([0, 1, 2, 3])
+        steps = walk_plan(order, cycle)
+        # Final join of the cycle closes two predicates (to 2 and to 0).
+        assert len(steps[-1].predicates) == 2

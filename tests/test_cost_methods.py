@@ -1,0 +1,97 @@
+"""Tests for the additional join methods (nested loop, sort-merge,
+multi-method) — the paper's §7 extension."""
+
+import pytest
+
+from repro.cost.memory import MainMemoryCostModel
+from repro.cost.methods import (
+    MultiMethodCostModel,
+    NestedLoopCostModel,
+    SortMergeCostModel,
+)
+from repro.plans.join_order import JoinOrder
+
+
+class TestNestedLoop:
+    def test_quadratic_in_operands(self):
+        model = NestedLoopCostModel(compare_cost=1, output_cost=1)
+        assert model.join_cost(10, 20, 5) == pytest.approx(10 * 20 + 5)
+
+    def test_beats_hash_on_tiny_inputs(self):
+        nested = NestedLoopCostModel()
+        hash_model = MainMemoryCostModel()
+        assert nested.join_cost(3, 3, 1) < hash_model.join_cost(3, 3, 1)
+
+    def test_loses_to_hash_on_large_inputs(self):
+        nested = NestedLoopCostModel()
+        hash_model = MainMemoryCostModel()
+        assert nested.join_cost(1e4, 1e4, 10) > hash_model.join_cost(1e4, 1e4, 10)
+
+
+class TestSortMerge:
+    def test_n_log_n_shape(self):
+        model = SortMergeCostModel(sort_cost=1, merge_cost=0.001, output_cost=0.001)
+        small = model.join_cost(100, 100, 1)
+        double = model.join_cost(200, 200, 1)
+        # Superlinear: doubling inputs more than doubles the cost.
+        assert double > 2 * small
+
+    def test_handles_tiny_sizes(self):
+        model = SortMergeCostModel()
+        assert model.join_cost(1, 1, 1) > 0
+
+    def test_not_of_kbz_form(self):
+        """cost(n1, n2) != n1 * g(n2): scaling the outer by x does not
+        scale the cost by x (the paper's §4.2 caveat for sort-merge)."""
+        model = SortMergeCostModel()
+        base = model.join_cost(100, 50, 1)
+        scaled = model.join_cost(1000, 50, 1)
+        assert scaled != pytest.approx(10 * base, rel=0.01)
+
+
+class TestMultiMethod:
+    def test_picks_cheapest(self):
+        model = MultiMethodCostModel()
+        for sizes in ((3, 3, 1), (1e4, 1e4, 10), (50, 5000, 100)):
+            expected = min(m.join_cost(*sizes) for m in model.methods)
+            assert model.join_cost(*sizes) == expected
+
+    def test_never_worse_than_hash_only(self, medium_query):
+        multi = MultiMethodCostModel()
+        hash_only = MainMemoryCostModel()
+        order = _valid_order(medium_query.graph)
+        assert multi.plan_cost(order, medium_query.graph) <= hash_only.plan_cost(
+            order, medium_query.graph
+        )
+
+    def test_chosen_methods_per_join(self, chain):
+        model = MultiMethodCostModel()
+        order = JoinOrder([0, 1, 2, 3, 4])
+        chosen = model.chosen_methods(order, chain)
+        assert len(chosen) == chain.n_joins
+        names = {m.name for m in model.methods}
+        assert set(chosen) <= names
+
+    def test_rejects_empty_method_set(self):
+        with pytest.raises(ValueError):
+            MultiMethodCostModel(methods=())
+
+    def test_optimizer_accepts_multi_method(self, small_query):
+        from repro.core.optimizer import optimize
+
+        result = optimize(
+            small_query,
+            method="IAI",
+            model=MultiMethodCostModel(),
+            time_factor=1.0,
+            units_per_n2=5,
+        )
+        assert result.cost > 0
+
+
+def _valid_order(graph):
+    import random
+
+    from repro.plans.validity import random_valid_order
+
+    return random_valid_order(graph, random.Random(1))

@@ -1,0 +1,58 @@
+"""Tests for executing bushy trees on the engine."""
+
+import random
+
+import pytest
+
+from repro.engine.datagen import generate_database
+from repro.engine.executor import execute_bushy, execute_order
+from repro.plans.bushy import linear_to_bushy, random_bushy_tree
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import random_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture(scope="module")
+def setup():
+    query = generate_query(DEFAULT_SPEC, n_joins=6, seed=5)
+    tables = generate_database(query.graph, seed=3, max_rows=300)
+    return query.graph, tables
+
+
+class TestExecuteBushy:
+    def test_left_deep_matches_linear_execution(self, setup):
+        graph, tables = setup
+        order = random_valid_order(graph, random.Random(1))
+        linear = execute_order(order, graph, tables)
+        bushy = execute_bushy(linear_to_bushy(order), graph, tables)
+        assert bushy.n_rows == linear.n_rows
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_shapes_same_final_size(self, setup, seed):
+        """Join reordering/reassociation never changes the result size."""
+        graph, tables = setup
+        reference = execute_order(
+            random_valid_order(graph, random.Random(0)), graph, tables
+        ).n_rows
+        tree = random_bushy_tree(graph, random.Random(seed))
+        assert execute_bushy(tree, graph, tables).n_rows == reference
+
+    def test_leaf_execution(self, setup):
+        graph, tables = setup
+        from repro.plans.bushy import leaf
+
+        result = execute_bushy(leaf(0), graph, tables)
+        assert result.n_rows == tables[0].n_rows
+
+    def test_column_set_is_union(self, setup):
+        graph, tables = setup
+        order = JoinOrder(
+            random_valid_order(graph, random.Random(2)).positions
+        )
+        tree = linear_to_bushy(order)
+        result = execute_bushy(tree, graph, tables)
+        expected = set()
+        for index in range(graph.n_relations):
+            expected.update(tables[index].column_names)
+        assert set(result.column_names) == expected

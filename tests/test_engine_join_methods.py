@@ -1,0 +1,86 @@
+"""Cross-validation of the three physical join implementations."""
+
+import random
+
+import pytest
+
+from repro.engine.operators import hash_join, merge_join, nested_loop_join
+from repro.engine.table import Table
+
+
+def random_table(name: str, rows: int, key_range: int, seed: int) -> Table:
+    rng = random.Random(seed)
+    return Table.from_dict(
+        name,
+        {
+            f"{name}_key": [rng.randrange(key_range) for _ in range(rows)],
+            f"{name}_val": list(range(rows)),
+        },
+    )
+
+
+def result_set(table: Table, left: str, right: str):
+    return sorted(
+        zip(table.column(f"{left}_val").values, table.column(f"{right}_val").values)
+    )
+
+
+class TestJoinMethodEquivalence:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_all_three_agree(self, seed):
+        a = random_table("a", 60, 15, seed)
+        b = random_table("b", 45, 15, seed + 100)
+        columns = [("a_key", "b_key")]
+        expected = result_set(hash_join(a, b, columns), "a", "b")
+        assert result_set(nested_loop_join(a, b, columns), "a", "b") == expected
+        assert result_set(merge_join(a, b, columns), "a", "b") == expected
+
+    def test_agree_on_empty_result(self):
+        a = Table.from_dict("a", {"a_key": [1, 2], "a_val": [0, 1]})
+        b = Table.from_dict("b", {"b_key": [3, 4], "b_val": [0, 1]})
+        columns = [("a_key", "b_key")]
+        assert hash_join(a, b, columns).n_rows == 0
+        assert nested_loop_join(a, b, columns).n_rows == 0
+        assert merge_join(a, b, columns).n_rows == 0
+
+    def test_agree_on_duplicates(self):
+        """Runs of equal keys on both sides multiply out correctly."""
+        a = Table.from_dict("a", {"a_key": [7, 7, 7], "a_val": [0, 1, 2]})
+        b = Table.from_dict("b", {"b_key": [7, 7], "b_val": [0, 1]})
+        columns = [("a_key", "b_key")]
+        assert hash_join(a, b, columns).n_rows == 6
+        assert nested_loop_join(a, b, columns).n_rows == 6
+        assert merge_join(a, b, columns).n_rows == 6
+
+    def test_multi_column_agreement(self):
+        a = Table.from_dict(
+            "a", {"a_k1": [1, 1, 2], "a_k2": [5, 6, 5], "a_val": [0, 1, 2]}
+        )
+        b = Table.from_dict(
+            "b", {"b_k1": [1, 2, 1], "b_k2": [5, 5, 6], "b_val": [0, 1, 2]}
+        )
+        columns = [("a_k1", "b_k1"), ("a_k2", "b_k2")]
+        expected = result_set(hash_join(a, b, columns), "a", "b")
+        assert result_set(nested_loop_join(a, b, columns), "a", "b") == expected
+        assert result_set(merge_join(a, b, columns), "a", "b") == expected
+
+
+class TestNestedLoopCrossProduct:
+    def test_cross_product(self):
+        a = Table.from_dict("a", {"a_val": [1, 2]})
+        b = Table.from_dict("b", {"b_val": [3, 4, 5]})
+        assert nested_loop_join(a, b, []).n_rows == 6
+
+
+class TestMergeJoinConstraints:
+    def test_requires_join_columns(self):
+        a = Table.from_dict("a", {"a_val": [1]})
+        b = Table.from_dict("b", {"b_val": [2]})
+        with pytest.raises(ValueError, match="at least one join column"):
+            merge_join(a, b, [])
+
+    def test_rejects_shared_names(self):
+        a = Table.from_dict("a", {"k": [1]})
+        b = Table.from_dict("b", {"k": [1]})
+        with pytest.raises(ValueError, match="share column names"):
+            merge_join(a, b, [("k", "k")])

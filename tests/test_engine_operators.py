@@ -1,0 +1,86 @@
+"""Tests for the physical operators."""
+
+import pytest
+
+from repro.engine.operators import hash_join, project, select
+from repro.engine.table import Table
+
+
+@pytest.fixture
+def left():
+    return Table.from_dict("L", {"l_key": [1, 2, 2, 3], "l_val": [10, 20, 21, 30]})
+
+
+@pytest.fixture
+def right():
+    return Table.from_dict("R", {"r_key": [2, 2, 3, 4], "r_val": [200, 201, 300, 400]})
+
+
+class TestSelect:
+    def test_filters_rows(self, left):
+        result = select(left, "l_key", lambda v: v >= 2)
+        assert result.n_rows == 3
+
+    def test_empty_result(self, left):
+        assert select(left, "l_key", lambda v: v > 99).n_rows == 0
+
+
+class TestProject:
+    def test_keeps_named_columns(self, left):
+        result = project(left, ["l_val"])
+        assert result.column_names == ["l_val"]
+        assert result.n_rows == left.n_rows
+
+
+class TestHashJoin:
+    def test_matches(self, left, right):
+        result = hash_join(left, right, [("l_key", "r_key")])
+        # key 2: 2 left x 2 right = 4; key 3: 1 x 1 = 1 -> 5 rows.
+        assert result.n_rows == 5
+
+    def test_join_values_agree(self, left, right):
+        result = hash_join(left, right, [("l_key", "r_key")])
+        lk = result.column("l_key").values
+        rk = result.column("r_key").values
+        assert lk == rk
+
+    def test_carries_both_sides_columns(self, left, right):
+        result = hash_join(left, right, [("l_key", "r_key")])
+        assert set(result.column_names) == {"l_key", "l_val", "r_key", "r_val"}
+
+    def test_no_matches(self):
+        a = Table.from_dict("A", {"k": [1, 2]})
+        b = Table.from_dict("B", {"j": [3, 4]})
+        assert hash_join(a, b, [("k", "j")]).n_rows == 0
+
+    def test_cross_product(self):
+        a = Table.from_dict("A", {"k": [1, 2]})
+        b = Table.from_dict("B", {"j": [3, 4, 5]})
+        result = hash_join(a, b, [])
+        assert result.n_rows == 6
+
+    def test_multi_column_join(self):
+        a = Table.from_dict("A", {"k1": [1, 1, 2], "k2": [7, 8, 7]})
+        b = Table.from_dict("B", {"j1": [1, 2], "j2": [7, 7]})
+        result = hash_join(a, b, [("k1", "j1"), ("k2", "j2")])
+        assert result.n_rows == 2  # (1,7) and (2,7)
+
+    def test_rejects_shared_column_names(self, left):
+        clone = Table.from_dict("L2", {"l_key": [1]})
+        with pytest.raises(ValueError, match="share column names"):
+            hash_join(left, clone, [("l_key", "l_key")])
+
+    def test_matches_nested_loop_oracle(self, left, right):
+        result = hash_join(left, right, [("l_key", "r_key")])
+        expected = sorted(
+            (lv, rv)
+            for lk, lv in zip(left.column("l_key").values, left.column("l_val").values)
+            for rk, rv in zip(
+                right.column("r_key").values, right.column("r_val").values
+            )
+            if lk == rk
+        )
+        got = sorted(
+            zip(result.column("l_val").values, result.column("r_val").values)
+        )
+        assert got == expected

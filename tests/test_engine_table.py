@@ -1,0 +1,58 @@
+"""Tests for the columnar table."""
+
+import pytest
+
+from repro.engine.table import Column, Table
+
+
+class TestColumn:
+    def test_len(self):
+        assert len(Column("c", (1, 2, 3))) == 3
+
+
+class TestTable:
+    def test_from_dict(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": [3, 4]})
+        assert table.n_rows == 2
+        assert table.column_names == ["a", "b"]
+
+    def test_rejects_ragged_columns(self):
+        with pytest.raises(ValueError, match="differing lengths"):
+            Table("t", [Column("a", (1, 2)), Column("b", (1,))])
+
+    def test_rejects_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate column"):
+            Table("t", [Column("a", (1,)), Column("a", (2,))])
+
+    def test_empty_table(self):
+        table = Table("t", [])
+        assert table.n_rows == 0
+        assert table.column_names == []
+
+    def test_column_lookup(self):
+        table = Table.from_dict("t", {"a": [1, 2]})
+        assert table.column("a").values == (1, 2)
+        assert table.has_column("a")
+        assert not table.has_column("b")
+
+    def test_missing_column_message(self):
+        table = Table.from_dict("t", {"a": [1]})
+        with pytest.raises(KeyError, match="no column 'b'"):
+            table.column("b")
+
+    def test_row(self):
+        table = Table.from_dict("t", {"a": [1, 2], "b": [3, 4]})
+        assert table.row(1) == {"a": 2, "b": 4}
+
+    def test_take(self):
+        table = Table.from_dict("t", {"a": [10, 20, 30]})
+        taken = table.take([2, 0])
+        assert taken.column("a").values == (30, 10)
+
+    def test_take_with_repeats(self):
+        table = Table.from_dict("t", {"a": [10, 20]})
+        assert table.take([0, 0, 1]).n_rows == 3
+
+    def test_str(self):
+        table = Table.from_dict("t", {"a": [1]})
+        assert "t" in str(table)

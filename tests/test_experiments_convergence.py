@@ -1,0 +1,89 @@
+"""Tests for the convergence-curve aggregation."""
+
+import pytest
+
+from repro.experiments.convergence import ConvergenceCurve, convergence_curves
+from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+
+
+@pytest.fixture(scope="module")
+def curves():
+    queries = generate_benchmark(
+        DEFAULT_SPEC, n_values=(10,), queries_per_n=3, seed=2
+    )
+    return convergence_curves(
+        queries,
+        methods=("IAI", "RANDOM"),
+        max_factor=2.0,
+        n_points=8,
+        units_per_n2=5,
+        seed=2,
+    )
+
+
+class TestConvergenceCurves:
+    def test_one_curve_per_method(self, curves):
+        assert set(curves) == {"IAI", "RANDOM"}
+
+    def test_grid_shape(self, curves):
+        curve = curves["IAI"]
+        assert len(curve.factors) == 8
+        assert curve.factors[-1] == pytest.approx(2.0)
+        assert len(curve.mean_scaled) == 8
+
+    def test_monotone_nonincreasing(self, curves):
+        for curve in curves.values():
+            values = curve.mean_scaled
+            assert all(a >= b - 1e-9 for a, b in zip(values, values[1:]))
+
+    def test_final_at_least_one(self, curves):
+        """The scaling base is the best across methods: minima is 1."""
+        finals = [curve.final() for curve in curves.values()]
+        assert min(finals) >= 1.0 - 1e-9
+
+    def test_points_accessor(self, curves):
+        points = curves["IAI"].points()
+        assert points[0][0] == pytest.approx(2.0 / 8)
+
+    def test_rejects_single_point(self):
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10,), queries_per_n=1, seed=2
+        )
+        with pytest.raises(ValueError):
+            convergence_curves(queries, methods=("II",), n_points=1)
+
+    def test_curve_type(self, curves):
+        assert isinstance(curves["IAI"], ConvergenceCurve)
+
+
+class TestOutlierCapConfig:
+    def test_infinite_cap_allows_big_means(self):
+        """Ablating the coercion rule lets extreme values through."""
+        import math
+
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10,), queries_per_n=3, seed=9
+        )
+        capped_config = ExperimentConfig(
+            methods=("RANDOM",),
+            time_factors=(0.5,),
+            units_per_n2=5,
+            replicates=1,
+            seed=9,
+            reference_methods=("IAI",),
+        )
+        uncapped_config = ExperimentConfig(
+            methods=("RANDOM",),
+            time_factors=(0.5,),
+            units_per_n2=5,
+            replicates=1,
+            seed=9,
+            reference_methods=("IAI",),
+            outlier_cap=math.inf,
+        )
+        capped = run_experiment(queries, capped_config)
+        uncapped = run_experiment(queries, uncapped_config)
+        assert uncapped.at("RANDOM", 0.5) >= capped.at("RANDOM", 0.5)
+        assert capped.at("RANDOM", 0.5) <= 10.0

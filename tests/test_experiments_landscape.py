@@ -1,0 +1,76 @@
+"""Tests for the solution-space landscape analysis."""
+
+import pytest
+
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.landscape import (
+    local_minima_census,
+    sample_cost_distribution,
+    summarize,
+)
+from repro.plans.validity import count_valid_orders, valid_orders
+
+from tests.conftest import star_graph
+
+
+class TestSampleCostDistribution:
+    def test_sorted_and_sized(self, chain):
+        costs = sample_cost_distribution(chain, MainMemoryCostModel(), 50, seed=1)
+        assert len(costs) == 50
+        assert costs == sorted(costs)
+
+    def test_deterministic(self, chain):
+        a = sample_cost_distribution(chain, MainMemoryCostModel(), 20, seed=2)
+        b = sample_cost_distribution(chain, MainMemoryCostModel(), 20, seed=2)
+        assert a == b
+
+    def test_rejects_zero_samples(self, chain):
+        with pytest.raises(ValueError):
+            sample_cost_distribution(chain, MainMemoryCostModel(), 0)
+
+
+class TestSummarize:
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 100.0])
+        assert summary.minimum == 1.0
+        assert summary.maximum == 100.0
+        assert summary.mean == pytest.approx(26.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.fraction_within_2x == pytest.approx(0.5)
+        assert summary.fraction_within_10x == pytest.approx(0.75)
+        assert summary.spread == pytest.approx(100.0)
+
+    def test_odd_median(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+
+class TestLocalMinimaCensus:
+    def test_counts_consistent(self, star):
+        census = local_minima_census(star, MainMemoryCostModel())
+        assert census.n_valid_orders == count_valid_orders(star)
+        assert 1 <= census.n_local_minima <= census.n_valid_orders
+        assert len(census.minima_costs) == census.n_local_minima
+
+    def test_global_minimum_is_a_local_minimum(self, star):
+        census = local_minima_census(star, MainMemoryCostModel())
+        assert census.minima_costs[0] == pytest.approx(census.global_minimum)
+
+    def test_global_minimum_matches_enumeration(self, star):
+        model = MainMemoryCostModel()
+        best = min(model.plan_cost(order, star) for order in valid_orders(star))
+        census = local_minima_census(star, model)
+        assert census.global_minimum == pytest.approx(best)
+
+    def test_deep_minima_bounds(self):
+        graph = star_graph([500, 20, 60, 110])
+        census = local_minima_census(graph, MainMemoryCostModel())
+        assert 1 <= census.deep_minima(2.0) <= census.n_local_minima
+        assert census.deep_minima(1e9) == census.n_local_minima
+
+    def test_fraction_minima(self, star):
+        census = local_minima_census(star, MainMemoryCostModel())
+        assert 0 < census.fraction_minima <= 1

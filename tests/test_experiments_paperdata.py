@@ -1,0 +1,89 @@
+"""Tests for the embedded paper data and rank-agreement scoring."""
+
+import pytest
+
+from repro.experiments.paperdata import (
+    TABLE1,
+    TABLE2,
+    TABLE3,
+    ordering_agreement,
+    spearman_rank_correlation,
+)
+
+
+class TestPaperData:
+    def test_table1_shape(self):
+        assert set(TABLE1) == {1.5, 3.0, 6.0, 9.0}
+        for row in TABLE1.values():
+            assert set(row) == {"AUG1", "AUG2", "AUG3", "AUG4", "AUG5"}
+
+    def test_table1_criterion3_wins_every_row(self):
+        for row in TABLE1.values():
+            assert min(row, key=row.get) == "AUG3"
+
+    def test_table2_criterion3_wins_every_row(self):
+        for row in TABLE2.values():
+            assert min(row, key=row.get) == "KBZ3"
+
+    def test_table3_iai_wins_every_row(self):
+        for row in TABLE3.values():
+            assert min(row, key=row.get) == "IAI"
+
+    def test_table3_has_nine_benchmarks(self):
+        assert sorted(TABLE3) == list(range(1, 10))
+
+
+class TestSpearman:
+    def test_identical_orderings(self):
+        assert spearman_rank_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+    def test_reversed_orderings(self):
+        assert spearman_rank_correlation([1, 2, 3], [30, 20, 10]) == pytest.approx(
+            -1.0
+        )
+
+    def test_ties_handled(self):
+        rho = spearman_rank_correlation([1.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        assert -1.0 <= rho <= 1.0
+
+    def test_constant_sample_gives_zero(self):
+        assert spearman_rank_correlation([1.0, 1.0], [1.0, 2.0]) == 0.0
+
+    def test_rejects_unpaired(self):
+        with pytest.raises(ValueError):
+            spearman_rank_correlation([1.0], [1.0, 2.0])
+
+    def test_matches_scipy_when_available(self):
+        scipy_stats = pytest.importorskip("scipy.stats")
+        a = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0]
+        b = [2.0, 7.0, 1.0, 8.0, 2.5, 8.0]
+        ours = spearman_rank_correlation(a, b)
+        theirs = scipy_stats.spearmanr(a, b).statistic
+        assert ours == pytest.approx(float(theirs))
+
+
+class TestOrderingAgreement:
+    def test_perfect_agreement(self):
+        row = TABLE1[9.0]
+        assert ordering_agreement(row, dict(row)) == pytest.approx(1.0)
+
+    def test_only_shared_methods_compared(self):
+        paper = {"A": 1.0, "B": 2.0, "C": 3.0}
+        measured = {"B": 5.0, "C": 9.0, "D": 1.0}
+        assert ordering_agreement(paper, measured) == pytest.approx(1.0)
+
+    def test_needs_two_shared(self):
+        with pytest.raises(ValueError):
+            ordering_agreement({"A": 1.0}, {"A": 2.0})
+
+    def test_measured_table1_agreement_positive(self):
+        """The reproduction's Table 1 ordering correlates with the
+        paper's (miniature run)."""
+        from repro.experiments.tables import table1
+
+        result = table1(
+            n_values=(15,), queries_per_n=4, units_per_n2=8, replicates=1, seed=3
+        )
+        measured = {m: result.at(m, 9.0) for m in result.config.methods}
+        rho = ordering_agreement(TABLE1[9.0], measured)
+        assert rho > 0.0

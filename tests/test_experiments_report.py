@@ -1,0 +1,95 @@
+"""Tests for plain-text result rendering."""
+
+from repro.experiments.report import render_experiment, render_matrix, render_series
+from repro.experiments.runner import ExperimentConfig, ExperimentResult
+
+
+def make_result():
+    config = ExperimentConfig(methods=("IAI", "II"), time_factors=(1.0, 9.0))
+    return ExperimentResult(
+        config=config,
+        n_queries=4,
+        mean_scaled={
+            "IAI": {1.0: 1.5, 9.0: 1.1},
+            "II": {1.0: 2.5, 9.0: 1.4},
+        },
+        outlier_counts={"IAI": {1.0: 0, 9.0: 0}, "II": {1.0: 1, 9.0: 0}},
+        per_query_scaled={
+            "IAI": {1.0: [1.4, 1.6, 1.5, 1.5], 9.0: [1.0, 1.2, 1.1, 1.1]},
+            "II": {1.0: [2.0, 3.0, 2.5, 2.5], 9.0: [1.3, 1.5, 1.4, 1.4]},
+        },
+    )
+
+
+class TestRenderMatrix:
+    def test_contains_labels_and_values(self):
+        text = render_matrix(
+            "Demo",
+            row_labels=["r1", "r2"],
+            column_labels=["c1", "c2"],
+            values=[[1.0, 2.0], [3.25, 4.5]],
+            row_header="Rows",
+        )
+        assert "Demo" in text
+        assert "r1" in text and "c2" in text
+        assert "3.25" in text
+        assert "4.50" in text
+
+    def test_columns_aligned(self):
+        text = render_matrix("T", ["a"], ["x", "y"], [[1.0, 2.0]])
+        lines = text.splitlines()
+        header, row = lines[2], lines[4]
+        assert header.rindex("y") == row.rindex("0") or len(header) == len(row)
+
+
+class TestRenderExperiment:
+    def test_has_all_methods_and_factors(self):
+        text = render_experiment("Figure 4 (mini)", make_result())
+        assert "Figure 4 (mini)" in text
+        assert "IAI" in text and "II" in text
+        assert "1N^2" in text and "9N^2" in text
+        assert "1.10" in text
+
+
+class TestRenderSeries:
+    def test_one_line_per_method(self):
+        text = render_series("Series", make_result())
+        assert "IAI" in text and "II" in text
+        assert "9: 1.10" in text
+
+
+class TestRenderAsciiChart:
+    def _series(self):
+        return {
+            "IAI": [(1.0, 2.0), (2.0, 1.5), (3.0, 1.0)],
+            "SA": [(1.0, 3.0), (2.0, 2.8), (3.0, 2.5)],
+        }
+
+    def test_contains_marks_and_legend(self):
+        from repro.experiments.report import render_ascii_chart
+
+        text = render_ascii_chart("Chart", self._series())
+        assert "Chart" in text
+        assert "I=IAI" in text and "S=SA" in text
+        assert "I" in text and "S" in text
+
+    def test_axis_bounds_rendered(self):
+        from repro.experiments.report import render_ascii_chart
+
+        text = render_ascii_chart("Chart", self._series())
+        assert "3.00" in text  # y max
+        assert "1.00" in text  # y min
+
+    def test_empty_rejected(self):
+        from repro.experiments.report import render_ascii_chart
+
+        import pytest as _pytest
+
+        with _pytest.raises(ValueError):
+            render_ascii_chart("Chart", {})
+
+    def test_single_point_series(self):
+        from repro.experiments.report import render_ascii_chart
+
+        text = render_ascii_chart("Chart", {"X": [(1.0, 1.0)]})
+        assert "X" in text

@@ -1,0 +1,55 @@
+"""Tests for the scaled-cost methodology."""
+
+import math
+
+import pytest
+
+from repro.experiments.scaling import OUTLIER_CAP, coerce_outlier, mean, scale_costs
+
+
+class TestCoerceOutlier:
+    def test_below_cap_unchanged(self):
+        assert coerce_outlier(3.7) == 3.7
+
+    def test_at_cap_coerced(self):
+        assert coerce_outlier(10.0) == 10.0
+
+    def test_above_cap_coerced(self):
+        assert coerce_outlier(100.0) == OUTLIER_CAP
+
+    def test_infinity_coerced(self):
+        assert coerce_outlier(math.inf) == OUTLIER_CAP
+
+    def test_nan_rejected(self):
+        with pytest.raises(ValueError):
+            coerce_outlier(math.nan)
+
+    def test_custom_cap(self):
+        assert coerce_outlier(7.0, cap=5.0) == 5.0
+
+
+class TestScaleCosts:
+    def test_scales_by_best(self):
+        scaled = scale_costs({"a": 100.0, "b": 200.0}, best=100.0)
+        assert scaled == {"a": 1.0, "b": 2.0}
+
+    def test_outliers_coerced(self):
+        scaled = scale_costs({"a": 100.0, "b": 5000.0}, best=100.0)
+        assert scaled["b"] == OUTLIER_CAP
+
+    def test_missing_solution_becomes_cap(self):
+        scaled = scale_costs({"a": math.inf}, best=1.0)
+        assert scaled["a"] == OUTLIER_CAP
+
+    def test_rejects_nonpositive_base(self):
+        with pytest.raises(ValueError):
+            scale_costs({"a": 1.0}, best=0.0)
+
+
+class TestMean:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean([])

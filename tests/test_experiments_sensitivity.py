@@ -1,0 +1,102 @@
+"""Tests for the estimation-error sensitivity analysis."""
+
+import random
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SensitivityPoint,
+    perturb_graph,
+    sensitivity_analysis,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture
+def query():
+    return generate_query(DEFAULT_SPEC, n_joins=10, seed=6)
+
+
+class TestPerturbGraph:
+    def test_structure_preserved(self, query):
+        graph = query.graph
+        perturbed = perturb_graph(graph, random.Random(0), 5.0)
+        assert perturbed.n_relations == graph.n_relations
+        assert len(perturbed.predicates) == len(graph.predicates)
+        for a, b in zip(graph.predicates, perturbed.predicates):
+            assert (a.left, a.right) == (b.left, b.right)
+
+    def test_factor_one_changes_little(self, query):
+        graph = query.graph
+        perturbed = perturb_graph(graph, random.Random(0), 1.0)
+        for i in range(graph.n_relations):
+            original = graph.relation(i).base_cardinality
+            assert perturbed.relation(i).base_cardinality == pytest.approx(
+                original, abs=1
+            )
+
+    def test_perturbation_bounded(self, query):
+        graph = query.graph
+        factor = 3.0
+        perturbed = perturb_graph(graph, random.Random(1), factor)
+        for i in range(graph.n_relations):
+            original = graph.relation(i).base_cardinality
+            new = perturbed.relation(i).base_cardinality
+            assert original / factor - 1 <= new <= original * factor + 1
+
+    def test_distinct_capped_by_cardinality(self, query):
+        perturbed = perturb_graph(query.graph, random.Random(2), 10.0)
+        for predicate in perturbed.predicates:
+            for side in predicate.endpoints:
+                assert (
+                    predicate.distinct_values(side)
+                    <= perturbed.relation(side).cardinality
+                )
+
+    def test_selections_kept(self, query):
+        perturbed = perturb_graph(query.graph, random.Random(3), 2.0)
+        for i in range(query.graph.n_relations):
+            assert (
+                perturbed.relation(i).selections
+                == query.graph.relation(i).selections
+            )
+
+    def test_rejects_factor_below_one(self, query):
+        with pytest.raises(ValueError):
+            perturb_graph(query.graph, random.Random(0), 0.5)
+
+
+class TestSensitivityAnalysis:
+    @pytest.fixture(scope="class")
+    def points(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=10, seed=6)
+        return sensitivity_analysis(
+            query,
+            error_factors=(1.0, 4.0),
+            n_trials=3,
+            time_factor=1.0,
+            units_per_n2=5,
+            seed=1,
+        )
+
+    def test_one_point_per_factor(self, points):
+        assert [p.error_factor for p in points] == [1.0, 4.0]
+        assert all(isinstance(p, SensitivityPoint) for p in points)
+
+    def test_no_error_means_no_degradation(self, points):
+        # Factor 1.0 perturbs nothing: same statistics, near-same plans.
+        assert points[0].mean_degradation == pytest.approx(1.0, abs=0.35)
+
+    def test_degradation_at_least_epsilon_positive(self, points):
+        for point in points:
+            assert point.mean_degradation > 0
+            assert point.worst_degradation >= point.mean_degradation - 1e-9
+
+    def test_trial_count_recorded(self, points):
+        assert all(p.n_trials == 3 for p in points)
+
+    def test_rejects_zero_trials(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=8, seed=0)
+        with pytest.raises(ValueError):
+            sensitivity_analysis(query, n_trials=0)

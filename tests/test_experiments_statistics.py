@@ -1,0 +1,110 @@
+"""Tests for the SG88-style statistical comparison helpers."""
+
+import pytest
+
+from repro.experiments.statistics import (
+    ConfidenceInterval,
+    mean_confidence_interval,
+    paired_comparison,
+)
+
+
+class TestMeanConfidenceInterval:
+    def test_contains_mean(self):
+        interval = mean_confidence_interval([1.0, 2.0, 3.0, 4.0])
+        assert interval.mean == pytest.approx(2.5)
+        assert interval.low < 2.5 < interval.high
+        assert interval.n == 4
+
+    def test_tighter_with_more_data(self):
+        narrow = mean_confidence_interval([1.0, 2.0] * 50)
+        wide = mean_confidence_interval([1.0, 2.0] * 2)
+        assert narrow.half_width < wide.half_width
+
+    def test_higher_confidence_is_wider(self):
+        data = [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert (
+            mean_confidence_interval(data, 0.99).half_width
+            > mean_confidence_interval(data, 0.90).half_width
+        )
+
+    def test_needs_two_values(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0])
+
+    def test_rejects_bad_confidence(self):
+        with pytest.raises(ValueError):
+            mean_confidence_interval([1.0, 2.0], confidence=1.0)
+
+    def test_contains(self):
+        interval = ConfidenceInterval(0.0, -1.0, 1.0, 0.95, 10)
+        assert interval.contains(0.5)
+        assert not interval.contains(2.0)
+
+
+class TestPairedComparison:
+    def test_clear_winner(self):
+        a = [1.0, 1.1, 1.0, 1.05, 1.02, 1.03]
+        b = [2.0, 2.1, 1.9, 2.05, 2.00, 1.95]
+        comparison = paired_comparison("A", a, "B", b)
+        assert comparison.significant
+        assert comparison.better == "A"
+        assert comparison.delta.mean < 0
+
+    def test_symmetry(self):
+        a = [1.0, 1.1, 1.0, 1.05]
+        b = [2.0, 2.1, 1.9, 2.05]
+        assert paired_comparison("B", b, "A", a).better == "A"
+
+    def test_no_difference(self):
+        a = [1.0, 2.0, 3.0, 4.0]
+        comparison = paired_comparison("A", a, "B", list(a))
+        assert not comparison.significant
+        assert comparison.better is None
+
+    def test_noisy_tie_not_significant(self):
+        a = [1.0, 3.0, 1.0, 3.0, 1.0, 3.0]
+        b = [3.0, 1.0, 3.0, 1.0, 3.0, 1.0]
+        comparison = paired_comparison("A", a, "B", b)
+        assert not comparison.significant
+
+    def test_pairing_matters(self):
+        """A consistent small per-query edge is significant even when the
+        two unpaired distributions overlap heavily."""
+        base = [1.0, 5.0, 10.0, 20.0, 3.0, 7.0]
+        better = [value - 0.1 for value in base]
+        comparison = paired_comparison("A", better, "B", base)
+        assert comparison.significant
+        assert comparison.better == "A"
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="differ in length"):
+            paired_comparison("A", [1.0], "B", [1.0, 2.0])
+
+    def test_str_mentions_verdict(self):
+        a = [1.0, 1.0, 1.0, 1.0]
+        b = [2.0, 2.0, 2.1, 1.9]
+        assert "A" in str(paired_comparison("A", a, "B", b))
+
+
+class TestExperimentResultIntegration:
+    def test_compare_and_interval(self):
+        from repro.experiments.runner import ExperimentConfig, run_experiment
+        from repro.workloads.benchmarks import DEFAULT_SPEC, generate_benchmark
+
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10,), queries_per_n=4, seed=3
+        )
+        config = ExperimentConfig(
+            methods=("IAI", "SA"),
+            time_factors=(1.0,),
+            units_per_n2=5,
+            replicates=1,
+            seed=3,
+        )
+        result = run_experiment(queries, config)
+        interval = result.confidence_interval("IAI", 1.0)
+        assert interval.n == 4
+        assert interval.low <= result.at("IAI", 1.0) <= interval.high
+        comparison = result.compare("IAI", "SA", 1.0)
+        assert comparison.method_a == "IAI"

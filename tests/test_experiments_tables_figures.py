@@ -1,0 +1,55 @@
+"""Smoke tests for the table/figure reproduction entry points.
+
+Full-shape assertions live in the benchmark harness; here each entry point
+runs at miniature scale and the structural contracts are checked.
+"""
+
+import pytest
+
+from repro.experiments.figures import figure4, figure5, figure6, figure7
+from repro.experiments.tables import TABLE3_METHODS, table1, table2, table3
+
+TINY = dict(n_values=(10,), queries_per_n=2, units_per_n2=4, replicates=1, seed=0)
+
+
+@pytest.mark.slow
+class TestTables:
+    def test_table1_structure(self):
+        result = table1(**TINY)
+        assert set(result.mean_scaled) == {"AUG1", "AUG2", "AUG3", "AUG4", "AUG5"}
+        for method in result.mean_scaled:
+            assert set(result.mean_scaled[method]) == {1.5, 3.0, 6.0, 9.0}
+            for value in result.mean_scaled[method].values():
+                assert 1.0 - 1e-9 <= value <= 10.0
+
+    def test_table2_structure(self):
+        result = table2(**TINY)
+        assert set(result.mean_scaled) == {"KBZ3", "KBZ4", "KBZ5"}
+
+    def test_table3_structure(self):
+        result = table3(benchmarks=(1, 9), **TINY)
+        assert set(result.rows) == {1, 9}
+        for row in result.rows.values():
+            assert set(row) == set(TABLE3_METHODS)
+        assert result.winner(1) in TABLE3_METHODS
+
+
+@pytest.mark.slow
+class TestFigures:
+    def test_figure4_covers_nine_methods(self):
+        result = figure4(**TINY)
+        assert len(result.mean_scaled) == 9
+
+    def test_figure5_covers_top_five(self):
+        result = figure5(**TINY)
+        assert set(result.mean_scaled) == set(TABLE3_METHODS)
+
+    def test_figure6_small_factors(self):
+        result = figure6(**TINY)
+        assert set(result.mean_scaled) == {"IAI", "AGI", "II"}
+        factors = {f for series in result.mean_scaled.values() for f in series}
+        assert 0.3 in factors
+
+    def test_figure7_uses_disk_model(self):
+        result = figure7(**TINY)
+        assert result.config.model.name == "disk"

@@ -1,0 +1,97 @@
+"""Tests for JSON catalog loading and the sql CLI command."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.frontend.catalog import StatsCatalog
+
+DOCUMENT = {
+    "tables": {
+        "orders": {
+            "cardinality": 100_000,
+            "columns": {
+                "cid": {"distinct": 5_000},
+                "flag": {"distinct": 2, "equality_selectivity": 0.7},
+            },
+        },
+        "customers": {"cardinality": 5_000, "columns": {"id": {"distinct": 5_000}}},
+    }
+}
+
+
+class TestFromDict:
+    def test_tables_registered(self):
+        catalog = StatsCatalog.from_dict(DOCUMENT)
+        assert len(catalog) == 2
+        assert catalog.table("orders").cardinality == 100_000
+
+    def test_column_stats(self):
+        catalog = StatsCatalog.from_dict(DOCUMENT)
+        column = catalog.table("orders").column("cid")
+        assert column.distinct == 5_000
+
+    def test_equality_selectivity_override(self):
+        catalog = StatsCatalog.from_dict(DOCUMENT)
+        assert catalog.table("orders").column("flag").selectivity == 0.7
+
+    def test_missing_tables_key(self):
+        with pytest.raises(ValueError, match='"tables"'):
+            StatsCatalog.from_dict({})
+
+    def test_missing_cardinality(self):
+        with pytest.raises(KeyError):
+            StatsCatalog.from_dict({"tables": {"t": {}}})
+
+
+class TestFromJson:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text(json.dumps(DOCUMENT))
+        catalog = StatsCatalog.from_json(path)
+        assert catalog.table("customers").cardinality == 5_000
+
+
+class TestSqlCommand:
+    @pytest.fixture
+    def catalog_path(self, tmp_path):
+        path = tmp_path / "catalog.json"
+        path.write_text(json.dumps(DOCUMENT))
+        return str(path)
+
+    def test_optimizes_sql(self, catalog_path, capsys):
+        code = main(
+            [
+                "sql",
+                "SELECT * FROM orders o, customers c WHERE o.cid = c.id",
+                "--catalog",
+                catalog_path,
+                "--time-factor",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "plan cost" in out
+        assert "joins: 1" in out
+
+    def test_explain_flag(self, catalog_path, capsys):
+        main(
+            [
+                "sql",
+                "SELECT * FROM orders o, customers c WHERE o.cid = c.id",
+                "--catalog",
+                catalog_path,
+                "--time-factor",
+                "1",
+                "--explain",
+            ]
+        )
+        assert "hash join" in capsys.readouterr().out
+
+    def test_parse_error_surfaces(self, catalog_path):
+        from repro.frontend.sql import ParseError
+
+        with pytest.raises(ParseError):
+            main(["sql", "NOT SQL AT ALL", "--catalog", catalog_path])

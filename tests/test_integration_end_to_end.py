@@ -1,0 +1,103 @@
+"""End-to-end integration tests across the whole stack.
+
+Generate a query, optimize it with several methods, generate matching
+data, execute the chosen plans, and cross-check measurements against
+estimates and costs.
+"""
+
+import pytest
+
+from repro import (
+    DEFAULT_SPEC,
+    DiskCostModel,
+    MainMemoryCostModel,
+    generate_query,
+    optimize,
+)
+from repro.engine.datagen import generate_database
+from repro.engine.executor import execute_order
+from repro.plans.validity import is_valid_order
+
+
+@pytest.fixture(scope="module")
+def query():
+    return generate_query(DEFAULT_SPEC, n_joins=10, seed=1234)
+
+
+class TestOptimizeThenExecute:
+    def test_optimized_plan_executes(self, query):
+        result = optimize(query, method="IAI", time_factor=2, units_per_n2=10, seed=0)
+        tables = generate_database(query.graph, seed=9, max_rows=300)
+        execution = execute_order(result.order, query.graph, tables)
+        assert execution.n_rows >= 0
+        assert len(execution.intermediate_sizes) == query.n_joins
+
+    def test_optimized_beats_pessimal_in_measured_work(self, query):
+        """The optimizer's plan produces less measured intermediate volume
+        than the worst augmentation start (sanity of the whole chain)."""
+        graph = query.graph
+        best = optimize(query, method="IAI", time_factor=3, units_per_n2=10, seed=0)
+        from repro.core.augmentation import AugmentationCriterion, augment_order
+
+        candidates = [
+            augment_order(graph, first, AugmentationCriterion.MAX_DEGREE)
+            for first in range(graph.n_relations)
+        ]
+        model = MainMemoryCostModel()
+        worst = max(candidates, key=lambda o: model.plan_cost(o, graph))
+        tables = generate_database(graph, seed=9, max_rows=200)
+        measured_best = sum(
+            execute_order(best.order, graph, tables).intermediate_sizes
+        )
+        measured_worst = sum(
+            execute_order(worst, graph, tables).intermediate_sizes
+        )
+        assert measured_best <= measured_worst * 1.5
+
+    def test_methods_agree_on_easy_query(self):
+        """On a tiny query every serious method lands near the same cost."""
+        query = generate_query(DEFAULT_SPEC, n_joins=4, seed=77)
+        costs = {
+            method: optimize(
+                query, method=method, time_factor=9, units_per_n2=30, seed=0
+            ).cost
+            for method in ("II", "IAI", "AGI", "SA")
+        }
+        best = min(costs.values())
+        assert all(cost <= best * 1.6 for cost in costs.values())
+
+
+class TestCostModelSwap:
+    def test_both_models_produce_valid_plans(self, query):
+        for model in (MainMemoryCostModel(), DiskCostModel()):
+            result = optimize(
+                query, method="IAI", model=model, time_factor=2, units_per_n2=10
+            )
+            assert is_valid_order(result.order, query.graph)
+
+    def test_models_price_with_their_own_units(self, query):
+        memory = optimize(
+            query, model=MainMemoryCostModel(), time_factor=2, units_per_n2=10
+        )
+        disk = optimize(
+            query, model=DiskCostModel(), time_factor=2, units_per_n2=10
+        )
+        # The two models use different units; their costs should differ.
+        assert memory.cost != pytest.approx(disk.cost)
+
+
+class TestPublicApi:
+    def test_quickstart_docstring_flow(self):
+        import repro
+
+        q = repro.generate_query(repro.DEFAULT_SPEC, n_joins=12, seed=7)
+        result = repro.optimize(q, method="IAI", time_factor=1, units_per_n2=5, seed=1)
+        assert result.cost > 0
+        tree = result.join_tree()
+        assert "hash join" in tree.explain()
+
+    def test_all_exports_resolve(self):
+        import repro
+
+        for name in repro.__all__:
+            assert getattr(repro, name) is not None

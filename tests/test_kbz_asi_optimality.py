@@ -1,0 +1,121 @@
+"""Optimality of KBZ's algorithm R under the ASI cost recurrence.
+
+Algorithm R is provably optimal for cost functions with the *adjacent
+sequence interchange* (ASI) property: with per-relation modules
+``T(v) = J(v, parent) * N_v`` and ``C(v) = 0.5 * N_v / D_v``, the cost of
+a sequence obeys ``C(S1 S2) = C(S1) + T(S1) * C(S2)``.  This test
+enumerates every tree-consistent join order of random small rooted trees
+and checks that algorithm R's order attains the minimum ASI cost — the
+strongest available correctness check of the rank-merge-normalize
+implementation.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.core.kbz import _leaf_module, kbz_order_for_root
+
+
+@st.composite
+def random_trees(draw, min_relations=2, max_relations=7):
+    """A random tree-shaped join graph with random statistics."""
+    n = draw(st.integers(min_relations, max_relations))
+    cardinalities = draw(st.lists(st.integers(2, 10_000), min_size=n, max_size=n))
+    relations = [Relation(f"R{i}", c) for i, c in enumerate(cardinalities)]
+    predicates = []
+    for i in range(1, n):
+        parent = draw(st.integers(0, i - 1))
+        predicates.append(
+            JoinPredicate(
+                parent,
+                i,
+                left_distinct=draw(st.integers(1, cardinalities[parent])),
+                right_distinct=draw(st.integers(1, cardinalities[i])),
+            )
+        )
+    return JoinGraph(relations, predicates)
+
+
+def tree_adjacency(graph: JoinGraph) -> dict[int, list[int]]:
+    adjacency: dict[int, list[int]] = {i: [] for i in range(graph.n_relations)}
+    for predicate in graph.predicates:
+        adjacency[predicate.left].append(predicate.right)
+        adjacency[predicate.right].append(predicate.left)
+    return adjacency
+
+
+def tree_consistent_orders(graph: JoinGraph, root: int):
+    """Every order where each relation's tree parent precedes it."""
+    parent: dict[int, int] = {}
+    stack = [root]
+    seen = {root}
+    adjacency = tree_adjacency(graph)
+    while stack:
+        vertex = stack.pop()
+        for neighbor in adjacency[vertex]:
+            if neighbor not in seen:
+                seen.add(neighbor)
+                parent[neighbor] = vertex
+                stack.append(neighbor)
+    others = [v for v in range(graph.n_relations) if v != root]
+    for tail in permutations(others):
+        positions = {root: 0}
+        ok = True
+        for index, vertex in enumerate(tail, start=1):
+            positions[vertex] = index
+            if positions.get(parent[vertex], -1) >= index:
+                ok = False
+                break
+        if ok and all(positions.get(parent[v], -1) < positions[v] for v in tail):
+            yield (root,) + tail, parent
+
+
+def asi_cost(sequence, parent, graph: JoinGraph) -> float:
+    """ASI recurrence cost of the non-root tail of ``sequence``."""
+    growth_prefix = 1.0
+    total = 0.0
+    for vertex in sequence[1:]:
+        module = _leaf_module(graph, vertex, parent[vertex])
+        total += growth_prefix * module.cost
+        growth_prefix *= module.growth
+    return total
+
+
+@given(random_trees(), st.data())
+@settings(max_examples=60, deadline=None)
+def test_algorithm_r_minimizes_asi_cost(graph, data):
+    root = data.draw(st.integers(0, graph.n_relations - 1))
+    tree = tree_adjacency(graph)
+    kbz_order = kbz_order_for_root(graph, tree, root)
+
+    best = None
+    parent_map = None
+    for order, parent in tree_consistent_orders(graph, root):
+        parent_map = parent
+        cost = asi_cost(order, parent, graph)
+        if best is None or cost < best:
+            best = cost
+    assert best is not None
+    kbz_cost = asi_cost(tuple(kbz_order), parent_map, graph)
+    assert kbz_cost <= best * (1 + 1e-9)
+
+
+@given(random_trees())
+@settings(max_examples=60, deadline=None)
+def test_algorithm_r_output_is_tree_consistent(graph):
+    tree = tree_adjacency(graph)
+    for root in range(graph.n_relations):
+        order = kbz_order_for_root(graph, tree, root)
+        seen = set()
+        for position, vertex in enumerate(order):
+            if position == 0:
+                assert vertex == root
+            else:
+                assert any(n in seen for n in tree[vertex])
+            seen.add(vertex)

@@ -1,0 +1,72 @@
+"""Tests for the join-order permutation type."""
+
+import pytest
+
+from repro.plans.join_order import JoinOrder
+
+
+class TestConstruction:
+    def test_holds_positions(self):
+        assert JoinOrder([2, 0, 1]).positions == (2, 0, 1)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(ValueError, match="duplicates"):
+            JoinOrder([0, 1, 1])
+
+    def test_len_iter_getitem(self):
+        order = JoinOrder([3, 1, 2])
+        assert len(order) == 3
+        assert list(order) == [3, 1, 2]
+        assert order[0] == 3
+
+    def test_equality_and_hash(self):
+        assert JoinOrder([1, 2]) == JoinOrder([1, 2])
+        assert JoinOrder([1, 2]) != JoinOrder([2, 1])
+        assert hash(JoinOrder([1, 2])) == hash(JoinOrder((1, 2)))
+
+    def test_not_equal_to_tuple(self):
+        assert JoinOrder([1, 2]) != (1, 2)
+
+    def test_index(self):
+        assert JoinOrder([5, 3, 9]).index(9) == 2
+
+
+class TestPerturbations:
+    def test_swap(self):
+        order = JoinOrder([0, 1, 2, 3])
+        assert order.swap(0, 3).positions == (3, 1, 2, 0)
+
+    def test_swap_does_not_mutate(self):
+        order = JoinOrder([0, 1, 2])
+        order.swap(0, 1)
+        assert order.positions == (0, 1, 2)
+
+    def test_insert_forward(self):
+        order = JoinOrder([0, 1, 2, 3])
+        assert order.insert(0, 2).positions == (1, 2, 0, 3)
+
+    def test_insert_backward(self):
+        order = JoinOrder([0, 1, 2, 3])
+        assert order.insert(3, 0).positions == (3, 0, 1, 2)
+
+    def test_insert_same_position_is_identity(self):
+        order = JoinOrder([0, 1, 2])
+        assert order.insert(1, 1) == order
+
+    def test_replace_segment(self):
+        order = JoinOrder([0, 1, 2, 3, 4])
+        replaced = order.replace_segment(1, (3, 2, 1))
+        assert replaced.positions == (0, 3, 2, 1, 4)
+
+    def test_replace_segment_rejects_duplicates(self):
+        order = JoinOrder([0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            order.replace_segment(0, (1, 1))
+
+    def test_prefix(self):
+        assert JoinOrder([4, 2, 0]).prefix(2) == (4, 2)
+
+    def test_str_and_repr(self):
+        order = JoinOrder([1, 0])
+        assert str(order) == "(1 0)"
+        assert "JoinOrder" in repr(order)

@@ -1,0 +1,69 @@
+"""Tests for outer-linear join trees."""
+
+import pytest
+
+from repro.plans.join_order import JoinOrder
+from repro.plans.join_tree import build_join_tree
+
+from tests.conftest import chain_graph, two_component_graph
+
+
+class TestBuildJoinTree:
+    def test_node_count(self, chain):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), chain)
+        assert len(tree.nodes) == chain.n_joins
+
+    def test_inner_relations_follow_order(self, chain):
+        order = JoinOrder([2, 1, 0, 3, 4])
+        tree = build_join_tree(order, chain)
+        assert [node.inner for node in tree.nodes] == [1, 0, 3, 4]
+
+    def test_outer_sizes_chain_through(self, chain):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), chain)
+        for previous, node in zip(tree.nodes, tree.nodes[1:]):
+            assert node.outer_cardinality == previous.result_cardinality
+
+    def test_no_cross_products_on_valid_order(self, chain):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), chain)
+        assert tree.n_cross_products == 0
+
+    def test_cross_product_detected(self, two_components):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), two_components)
+        # Joining relation 2 after {0, 1} crosses components.
+        assert tree.nodes[1].is_cross_product
+        assert tree.n_cross_products == 1
+
+    def test_cross_product_size_is_product(self):
+        graph = two_component_graph()
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), graph)
+        first = tree.nodes[0]
+        cross = tree.nodes[1]
+        assert cross.result_cardinality == pytest.approx(
+            first.result_cardinality * graph.cardinality(2)
+        )
+
+    def test_result_cardinality_single_relation(self):
+        graph = chain_graph([42])
+        tree = build_join_tree(JoinOrder([0]), graph)
+        assert tree.result_cardinality == 42.0
+        assert tree.nodes == ()
+
+    def test_intermediate_cardinalities_positive(self, cycle):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3]), cycle)
+        assert all(size >= 1.0 for size in tree.intermediate_cardinalities())
+
+
+class TestRendering:
+    def test_str_shows_operators(self, chain):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), chain)
+        assert "|><|" in str(tree)
+
+    def test_str_shows_cross_product(self, two_components):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), two_components)
+        assert " x " in str(tree)
+
+    def test_explain_lists_every_join(self, chain):
+        tree = build_join_tree(JoinOrder([0, 1, 2, 3, 4]), chain)
+        explanation = tree.explain()
+        assert explanation.count("hash join") == chain.n_joins
+        assert "scan" in explanation

@@ -1,0 +1,163 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random small join graphs are generated as hypothesis strategies; the
+invariants cover validity closure of the move set, estimator sanity,
+heuristic output validity, and the never-worse guarantee of local
+improvement.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.core.augmentation import AugmentationCriterion, augment_order
+from repro.core.budget import Budget
+from repro.core.kbz import kbz_orders
+from repro.core.local_improvement import local_improve
+from repro.core.moves import MoveSet
+from repro.core.state import Evaluation, Evaluator
+from repro.cost.cardinality import prefix_cardinalities
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import is_valid_order, random_valid_order
+
+
+@st.composite
+def join_graphs(draw, min_relations=2, max_relations=8):
+    """A random connected join graph with plausible statistics."""
+    n = draw(st.integers(min_relations, max_relations))
+    cardinalities = draw(
+        st.lists(st.integers(2, 50_000), min_size=n, max_size=n)
+    )
+    relations = [Relation(f"R{i}", c) for i, c in enumerate(cardinalities)]
+    edges: set[tuple[int, int]] = set()
+    for i in range(1, n):
+        partner = draw(st.integers(0, i - 1))
+        edges.add((partner, i))
+    n_extra = draw(st.integers(0, max(0, n - 2)))
+    for _ in range(n_extra):
+        a = draw(st.integers(0, n - 1))
+        b = draw(st.integers(0, n - 1))
+        if a != b:
+            edges.add((min(a, b), max(a, b)))
+    predicates = []
+    for a, b in sorted(edges):
+        left_distinct = draw(st.integers(1, cardinalities[a]))
+        right_distinct = draw(st.integers(1, cardinalities[b]))
+        predicates.append(JoinPredicate(a, b, left_distinct, right_distinct))
+    return JoinGraph(relations, predicates)
+
+
+@st.composite
+def graphs_with_orders(draw):
+    graph = draw(join_graphs())
+    seed = draw(st.integers(0, 2**16))
+    order = random_valid_order(graph, random.Random(seed))
+    return graph, order
+
+
+@given(graphs_with_orders())
+@settings(max_examples=60, deadline=None)
+def test_random_valid_order_is_valid(graph_order):
+    graph, order = graph_order
+    assert is_valid_order(order, graph)
+
+
+@given(graphs_with_orders(), st.integers(0, 2**16))
+@settings(max_examples=60, deadline=None)
+def test_moves_preserve_validity(graph_order, seed):
+    graph, order = graph_order
+    move_set = MoveSet()
+    rng = random.Random(seed)
+    for _ in range(5):
+        order = move_set.random_neighbor(order, graph, rng)
+        assert is_valid_order(order, graph)
+
+
+@given(graphs_with_orders())
+@settings(max_examples=60, deadline=None)
+def test_prefix_cardinalities_positive_and_complete(graph_order):
+    graph, order = graph_order
+    sizes = prefix_cardinalities(order, graph)
+    assert len(sizes) == graph.n_relations
+    assert all(size >= 1.0 for size in sizes)
+
+
+@given(graphs_with_orders())
+@settings(max_examples=60, deadline=None)
+def test_final_cardinality_near_order_independent_without_caps(graph_order):
+    """With propagation the *final* size may differ across orders, but it
+    is never below the static no-propagation estimate."""
+    graph, order = graph_order
+    from repro.cost.cardinality import combined_selectivity
+
+    static = graph.cardinality(order[0])
+    placed = [order[0]]
+    for position in range(1, len(order)):
+        inner = order[position]
+        predicates = graph.edges_between(placed, inner)
+        static = max(
+            1.0,
+            static * graph.cardinality(inner) * combined_selectivity(predicates),
+        )
+        placed.append(inner)
+    propagated = prefix_cardinalities(order, graph)[-1]
+    assert propagated >= static - 1e-6 * static - 1e-9
+
+
+@given(graphs_with_orders())
+@settings(max_examples=40, deadline=None)
+def test_plan_costs_positive_under_both_models(graph_order):
+    graph, order = graph_order
+    assert MainMemoryCostModel().plan_cost(order, graph) > 0
+    assert DiskCostModel().plan_cost(order, graph) > 0
+
+
+@given(join_graphs(), st.sampled_from(list(AugmentationCriterion)))
+@settings(max_examples=60, deadline=None)
+def test_augmentation_orders_always_valid(graph, criterion):
+    for first in range(graph.n_relations):
+        order = augment_order(graph, first, criterion)
+        assert is_valid_order(order, graph)
+        assert order[0] == first
+
+
+@given(join_graphs(min_relations=3))
+@settings(max_examples=40, deadline=None)
+def test_kbz_orders_always_valid(graph):
+    for order in kbz_orders(graph):
+        assert is_valid_order(order, graph)
+
+
+@given(graphs_with_orders(), st.sampled_from([(2, 0), (2, 1), (3, 2)]))
+@settings(max_examples=30, deadline=None)
+def test_local_improvement_never_worse(graph_order, strategy):
+    graph, order = graph_order
+    cluster, overlap = strategy
+    if cluster > graph.n_relations:
+        return
+    evaluator = Evaluator(graph, MainMemoryCostModel(), Budget(limit=1e9))
+    start = Evaluation(order, evaluator.evaluate(order))
+    improved = local_improve(start, evaluator, cluster, overlap, max_passes=3)
+    assert improved.cost <= start.cost + 1e-9
+    assert is_valid_order(improved.order, graph)
+
+
+@given(graphs_with_orders(), st.integers(0, 2**16))
+@settings(max_examples=30, deadline=None)
+def test_swap_and_insert_are_involutive_enough(graph_order, seed):
+    """swap(i,j) twice and insert round-trips restore the original."""
+    _, order = graph_order
+    rng = random.Random(seed)
+    n = len(order)
+    if n < 2:
+        return
+    i, j = rng.sample(range(n), 2)
+    assert order.swap(i, j).swap(i, j) == order
+    assert order.insert(i, j).insert(j, i) == order

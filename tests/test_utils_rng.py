@@ -1,0 +1,44 @@
+"""Tests for deterministic RNG derivation."""
+
+import random
+
+from repro.utils.rng import derive_rng, derive_seed
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_differs_by_root_seed(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_differs_by_key(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_differs_by_key_order(self):
+        assert derive_seed(1, "a", "b") != derive_seed(1, "b", "a")
+
+    def test_differs_by_key_arity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "a", "a")
+
+    def test_int_vs_str_keys_distinct(self):
+        assert derive_seed(1, 2) != derive_seed(1, "2")
+
+    def test_is_64_bit(self):
+        for seed in range(20):
+            assert 0 <= derive_seed(seed, "x") < 2**64
+
+
+class TestDeriveRng:
+    def test_returns_random_instance(self):
+        assert isinstance(derive_rng(0, "k"), random.Random)
+
+    def test_same_path_same_stream(self):
+        a = derive_rng(5, "stream")
+        b = derive_rng(5, "stream")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_paths_different_streams(self):
+        a = derive_rng(5, "one")
+        b = derive_rng(5, "two")
+        assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]

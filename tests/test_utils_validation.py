@@ -1,0 +1,45 @@
+"""Tests for the argument-checking helpers."""
+
+import pytest
+
+from repro.utils.validation import check_fraction, check_positive, check_probability
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive("x", 3.5) == 3.5
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError, match="x must be positive"):
+            check_positive("x", 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_positive("x", -1)
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("value", [0.0, 0.5, 1.0])
+    def test_accepts_unit_interval(self, value):
+        assert check_probability("p", value) == value
+
+    @pytest.mark.parametrize("value", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, value):
+        with pytest.raises(ValueError, match="p must be in"):
+            check_probability("p", value)
+
+
+class TestCheckFraction:
+    def test_accepts_half(self):
+        assert check_fraction("f", 0.5) == 0.5
+
+    def test_accepts_one(self):
+        assert check_fraction("f", 1.0) == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 0.0)
+
+    def test_rejects_above_one(self):
+        with pytest.raises(ValueError):
+            check_fraction("f", 1.5)

@@ -1,0 +1,106 @@
+"""Tests for the benchmark catalogue (default + nine variations)."""
+
+import random
+
+import pytest
+
+from repro.workloads.benchmarks import (
+    DEFAULT_SPEC,
+    benchmark_spec,
+    benchmark_specs,
+    generate_benchmark,
+)
+
+
+class TestBenchmarkSpecs:
+    def test_ten_specs(self):
+        specs = benchmark_specs()
+        assert sorted(specs) == list(range(10))
+
+    def test_zero_is_default(self):
+        assert benchmark_spec(0) is DEFAULT_SPEC
+
+    def test_unknown_number_raises(self):
+        with pytest.raises(ValueError):
+            benchmark_spec(10)
+
+    def test_unique_names(self):
+        names = [spec.name for spec in benchmark_specs().values()]
+        assert len(set(names)) == len(names)
+
+    def test_variation_1_scales_range_by_ten(self):
+        spec = benchmark_spec(1)
+        rng = random.Random(0)
+        samples = [spec.cardinality.sample(rng) for _ in range(300)]
+        assert max(samples) > 10_000  # beyond the default's range
+        assert all(10 <= s < 100_000 for s in samples)
+
+    def test_variations_2_and_3_are_uniform(self):
+        for number, high in ((2, 10_000), (3, 100_000)):
+            spec = benchmark_spec(number)
+            assert len(spec.cardinality.buckets) == 1
+            assert spec.cardinality.buckets[0].high == high
+
+    def test_variation_5_lowers_distinct_values(self):
+        rng_default = random.Random(1)
+        rng_low = random.Random(1)
+        default_mean = sum(
+            DEFAULT_SPEC.distinct_fraction.sample(rng_default) for _ in range(2000)
+        )
+        low_mean = sum(
+            benchmark_spec(5).distinct_fraction.sample(rng_low)
+            for _ in range(2000)
+        )
+        assert low_mean < default_mean
+
+    def test_variation_7_denser(self):
+        assert benchmark_spec(7).join_cutoff_probability == 0.1
+
+    def test_variations_8_9_biases(self):
+        assert benchmark_spec(8).graph_bias == "star"
+        assert benchmark_spec(9).graph_bias == "chain"
+
+    def test_variations_change_one_feature_only(self):
+        """Each variation keeps the other default distributions."""
+        for number in (1, 2, 3):
+            spec = benchmark_spec(number)
+            assert spec.distinct_fraction == DEFAULT_SPEC.distinct_fraction
+            assert spec.join_cutoff_probability == 0.01
+        for number in (4, 5, 6):
+            spec = benchmark_spec(number)
+            assert spec.cardinality == DEFAULT_SPEC.cardinality
+            assert spec.join_cutoff_probability == 0.01
+        for number in (7, 8, 9):
+            spec = benchmark_spec(number)
+            assert spec.cardinality == DEFAULT_SPEC.cardinality
+            assert spec.distinct_fraction == DEFAULT_SPEC.distinct_fraction
+
+
+class TestGenerateBenchmark:
+    def test_counts(self):
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10, 20), queries_per_n=3, seed=0
+        )
+        assert len(queries) == 6
+        assert sorted({q.n_joins for q in queries}) == [10, 20]
+
+    def test_names_unique(self):
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10, 20), queries_per_n=3, seed=0
+        )
+        names = [q.name for q in queries]
+        assert len(set(names)) == len(names)
+
+    def test_deterministic(self):
+        a = generate_benchmark(DEFAULT_SPEC, n_values=(10,), queries_per_n=2, seed=1)
+        b = generate_benchmark(DEFAULT_SPEC, n_values=(10,), queries_per_n=2, seed=1)
+        assert [q.seed for q in a] == [q.seed for q in b]
+
+    def test_queries_differ_within_benchmark(self):
+        queries = generate_benchmark(
+            DEFAULT_SPEC, n_values=(10,), queries_per_n=3, seed=1
+        )
+        cards = [
+            tuple(r.base_cardinality for r in q.graph.relations) for q in queries
+        ]
+        assert len(set(cards)) == 3

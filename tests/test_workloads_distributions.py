@@ -1,0 +1,89 @@
+"""Tests for the benchmark parameter distributions."""
+
+import random
+
+import pytest
+
+from repro.workloads.distributions import (
+    Bucket,
+    BucketDistribution,
+    SELECTION_SELECTIVITIES,
+    WorkloadSpec,
+)
+
+
+class TestBucket:
+    def test_sample_within_range(self):
+        bucket = Bucket(10, 20, 1.0)
+        rng = random.Random(0)
+        for _ in range(100):
+            assert 10 <= bucket.sample(rng) < 20
+
+    def test_point_mass(self):
+        bucket = Bucket(1.0, 1.0, 0.5)
+        assert bucket.sample(random.Random(0)) == 1.0
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            Bucket(20, 10, 1.0)
+
+    def test_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            Bucket(0, 1, 1.5)
+
+
+class TestBucketDistribution:
+    def test_probabilities_must_sum_to_one(self):
+        with pytest.raises(ValueError, match="sum"):
+            BucketDistribution.from_triples((0, 1, 0.5), (1, 2, 0.4))
+
+    def test_sampling_respects_weights(self):
+        distribution = BucketDistribution.from_triples(
+            (0, 1, 0.9), (100, 101, 0.1)
+        )
+        rng = random.Random(0)
+        samples = [distribution.sample(rng) for _ in range(2000)]
+        low_fraction = sum(1 for s in samples if s < 1) / len(samples)
+        assert 0.85 < low_fraction < 0.95
+
+    def test_uniform_constructor(self):
+        distribution = BucketDistribution.uniform(5, 10)
+        rng = random.Random(1)
+        assert all(5 <= distribution.sample(rng) < 10 for _ in range(50))
+
+    def test_point_mass_bucket_reachable(self):
+        distribution = BucketDistribution.from_triples(
+            (0.0, 0.5, 0.5), (1.0, 1.0, 0.5)
+        )
+        rng = random.Random(2)
+        samples = {distribution.sample(rng) == 1.0 for _ in range(100)}
+        assert samples == {True, False}
+
+
+class TestWorkloadSpec:
+    def test_default_matches_paper(self):
+        spec = WorkloadSpec()
+        assert spec.join_cutoff_probability == 0.01
+        assert spec.max_selections == 2
+        assert spec.graph_bias == "none"
+        assert len(spec.selection_selectivities) == 15
+
+    def test_selection_selectivities_encode_frequencies(self):
+        assert SELECTION_SELECTIVITIES.count(0.34) == 5
+        assert SELECTION_SELECTIVITIES.count(0.5) == 3
+
+    def test_rejects_unknown_bias(self):
+        with pytest.raises(ValueError, match="graph_bias"):
+            WorkloadSpec(graph_bias="tree")
+
+    def test_rejects_bad_cutoff(self):
+        with pytest.raises(ValueError):
+            WorkloadSpec(join_cutoff_probability=2.0)
+
+    def test_default_cardinality_distribution(self):
+        spec = WorkloadSpec()
+        rng = random.Random(3)
+        samples = [spec.cardinality.sample(rng) for _ in range(500)]
+        assert all(10 <= s < 10_000 for s in samples)
+        mid = sum(1 for s in samples if 100 <= s < 1000) / len(samples)
+        assert 0.5 < mid < 0.7

@@ -1,0 +1,114 @@
+"""Tests for random query generation."""
+
+import pytest
+
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import is_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC, benchmark_spec
+from repro.workloads.generator import generate_query
+
+
+class TestGenerateQuery:
+    def test_relation_count(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=10, seed=0)
+        assert query.graph.n_relations == 11
+        assert query.n_joins == 10
+
+    def test_connected(self):
+        for seed in range(10):
+            query = generate_query(DEFAULT_SPEC, n_joins=15, seed=seed)
+            assert query.graph.is_connected
+
+    def test_identity_permutation_valid(self):
+        """Step 1 guarantees (0 1 2 ... N) is a valid permutation."""
+        for seed in range(10):
+            query = generate_query(DEFAULT_SPEC, n_joins=12, seed=seed)
+            order = JoinOrder(list(range(query.graph.n_relations)))
+            assert is_valid_order(order, query.graph)
+
+    def test_deterministic(self):
+        a = generate_query(DEFAULT_SPEC, n_joins=10, seed=5)
+        b = generate_query(DEFAULT_SPEC, n_joins=10, seed=5)
+        assert [r.cardinality for r in a.graph.relations] == [
+            r.cardinality for r in b.graph.relations
+        ]
+        assert [
+            (p.left, p.right, p.selectivity) for p in a.graph.predicates
+        ] == [(p.left, p.right, p.selectivity) for p in b.graph.predicates]
+
+    def test_seed_changes_query(self):
+        a = generate_query(DEFAULT_SPEC, n_joins=10, seed=1)
+        b = generate_query(DEFAULT_SPEC, n_joins=10, seed=2)
+        assert [r.base_cardinality for r in a.graph.relations] != [
+            r.base_cardinality for r in b.graph.relations
+        ]
+
+    def test_rejects_zero_joins(self):
+        with pytest.raises(ValueError):
+            generate_query(DEFAULT_SPEC, n_joins=0, seed=0)
+
+    def test_cardinalities_in_spec_range(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=30, seed=3)
+        for relation in query.graph.relations:
+            assert 2 <= relation.base_cardinality < 10_000
+
+    def test_selections_bounded(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=30, seed=3)
+        assert all(len(r.selections) <= 2 for r in query.graph.relations)
+
+    def test_distinct_values_bounded_by_cardinality(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=30, seed=4)
+        for predicate in query.graph.predicates:
+            for side in predicate.endpoints:
+                assert (
+                    predicate.distinct_values(side)
+                    <= query.graph.cardinality(side)
+                )
+
+    def test_metadata_recorded(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=10, seed=0)
+        assert query.metadata["n_joins"] == 10
+        assert query.metadata["spec"] == "default"
+
+
+class TestGraphBiases:
+    @staticmethod
+    def _max_degree(query):
+        graph = query.graph
+        return max(graph.degree(i) for i in range(graph.n_relations))
+
+    def test_star_bias_creates_hubs(self):
+        star_spec = benchmark_spec(8)
+        hubs = [
+            self._max_degree(generate_query(star_spec, 30, seed))
+            for seed in range(12)
+        ]
+        flat = [
+            self._max_degree(generate_query(DEFAULT_SPEC, 30, seed))
+            for seed in range(12)
+        ]
+        assert sum(hubs) / len(hubs) > sum(flat) / len(flat)
+
+    def test_chain_bias_keeps_degrees_low(self):
+        chain_spec = benchmark_spec(9)
+        chains = [
+            self._max_degree(generate_query(chain_spec, 30, seed))
+            for seed in range(12)
+        ]
+        flat = [
+            self._max_degree(generate_query(DEFAULT_SPEC, 30, seed))
+            for seed in range(12)
+        ]
+        assert sum(chains) / len(chains) < sum(flat) / len(flat)
+
+    def test_dense_spec_has_more_predicates(self):
+        dense_spec = benchmark_spec(7)
+        dense = [
+            len(generate_query(dense_spec, 30, seed).graph.predicates)
+            for seed in range(8)
+        ]
+        flat = [
+            len(generate_query(DEFAULT_SPEC, 30, seed).graph.predicates)
+            for seed in range(8)
+        ]
+        assert sum(dense) > sum(flat)

@@ -1,0 +1,100 @@
+"""Tests for the star/snowflake schema generators."""
+
+import pytest
+
+from repro.plans.validity import is_valid_order
+from repro.plans.join_order import JoinOrder
+from repro.workloads.schemas import (
+    StarSchemaSpec,
+    generate_star_benchmark,
+    generate_star_query,
+)
+
+
+class TestStarSchemaSpec:
+    def test_n_joins_star(self):
+        assert StarSchemaSpec(n_dimensions=8, hierarchy_depth=1).n_joins == 8
+
+    def test_n_joins_snowflake(self):
+        assert StarSchemaSpec(n_dimensions=5, hierarchy_depth=3).n_joins == 15
+
+    def test_rejects_bad_shrink(self):
+        with pytest.raises(ValueError):
+            StarSchemaSpec(shrink_per_level=0.0)
+
+    def test_rejects_zero_dimensions(self):
+        with pytest.raises(ValueError):
+            StarSchemaSpec(n_dimensions=0)
+
+
+class TestGenerateStarQuery:
+    def test_star_shape(self):
+        query = generate_star_query(StarSchemaSpec(n_dimensions=6), seed=1)
+        graph = query.graph
+        assert graph.n_relations == 7
+        # The fact table joins every dimension.
+        assert graph.degree(0) == 6
+        assert all(graph.degree(i) == 1 for i in range(1, 7))
+
+    def test_snowflake_shape(self):
+        spec = StarSchemaSpec(n_dimensions=3, hierarchy_depth=2)
+        query = generate_star_query(spec, seed=1)
+        graph = query.graph
+        assert graph.n_relations == 1 + 6
+        assert graph.degree(0) == 3  # fact joins only level-0 dimensions
+        assert query.n_joins == 6
+
+    def test_connected_and_valid_identity_like_order(self):
+        query = generate_star_query(StarSchemaSpec(n_dimensions=5), seed=2)
+        assert query.graph.is_connected
+        order = JoinOrder(list(range(query.graph.n_relations)))
+        assert is_valid_order(order, query.graph)
+
+    def test_foreign_key_selectivity(self):
+        """J = 1/|dimension| for a key/foreign-key join."""
+        query = generate_star_query(
+            StarSchemaSpec(n_dimensions=2, fact_selectivity=1.0), seed=3
+        )
+        graph = query.graph
+        for dimension in (1, 2):
+            predicate = graph.edge(0, dimension)
+            assert predicate.selectivity == pytest.approx(
+                1.0 / graph.relation(dimension).base_cardinality
+            )
+
+    def test_fact_selection_applied(self):
+        query = generate_star_query(StarSchemaSpec(fact_selectivity=0.2), seed=0)
+        fact = query.graph.relation(0)
+        assert fact.cardinality == pytest.approx(fact.base_cardinality * 0.2)
+
+    def test_deterministic(self):
+        spec = StarSchemaSpec()
+        a = generate_star_query(spec, seed=9)
+        b = generate_star_query(spec, seed=9)
+        assert [r.base_cardinality for r in a.graph.relations] == [
+            r.base_cardinality for r in b.graph.relations
+        ]
+
+    def test_metadata(self):
+        query = generate_star_query(
+            StarSchemaSpec(n_dimensions=4, hierarchy_depth=2), seed=0
+        )
+        assert query.metadata["schema"] == "snowflake"
+        assert "snowflake" in query.name
+
+    def test_optimizable(self):
+        from repro.core.optimizer import optimize
+
+        query = generate_star_query(StarSchemaSpec(n_dimensions=10), seed=4)
+        result = optimize(query, method="IAI", time_factor=1, units_per_n2=5)
+        assert is_valid_order(result.order, query.graph)
+        # A sane plan starts from the (filtered) fact table or a small
+        # dimension, never from the raw fact cross space: cost is finite.
+        assert result.cost > 0
+
+
+class TestGenerateStarBenchmark:
+    def test_count_and_distinct_seeds(self):
+        queries = generate_star_benchmark(StarSchemaSpec(), n_queries=4, seed=1)
+        assert len(queries) == 4
+        assert len({q.seed for q in queries}) == 4
