@@ -11,6 +11,7 @@ the most selective predicate.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Iterator, Sequence
 
@@ -28,27 +29,62 @@ class JoinGraph:
     predicates:
         Join predicates.  At most one predicate per unordered pair is kept;
         duplicates raise ``ValueError`` (fold selectivities upstream).
+    validate:
+        When true (the default), statistics are sanity-checked at
+        construction time: every relation must have a positive finite
+        cardinality and no join column may claim more distinct values than
+        its relation has rows.  ``validate=False`` skips only these
+        statistical checks (structural checks always run) and exists for
+        the fault-injection harness in :mod:`repro.robustness.faults`,
+        which deliberately builds graphs with corrupted statistics.
     """
 
     def __init__(
         self,
         relations: Sequence[Relation],
         predicates: Iterable[JoinPredicate],
+        validate: bool = True,
     ) -> None:
         if len(relations) == 0:
             raise ValueError("a join graph needs at least one relation")
         self._relations = tuple(relations)
+        self._validated = validate
+        if validate:
+            for index, relation in enumerate(self._relations):
+                self._check_relation(index, relation)
         self._adjacency: dict[int, dict[int, JoinPredicate]] = {
             i: {} for i in range(len(self._relations))
         }
         self._predicates: list[JoinPredicate] = []
         for predicate in predicates:
-            self._add_predicate(predicate)
+            self._add_predicate(predicate, validate)
         self._predicates_tuple = tuple(self._predicates)
         self._components = self._compute_components()
 
-    def _add_predicate(self, predicate: JoinPredicate) -> None:
+    @staticmethod
+    def _check_relation(index: int, relation: Relation) -> None:
+        cardinality = relation.base_cardinality
+        if not isinstance(cardinality, (int, float)) or isinstance(
+            cardinality, bool
+        ):
+            raise ValueError(
+                f"relation {relation.name!r} (vertex {index}) has a "
+                f"non-numeric cardinality {cardinality!r}"
+            )
+        if not math.isfinite(cardinality) or cardinality <= 0:
+            raise ValueError(
+                f"relation {relation.name!r} (vertex {index}) has "
+                f"invalid cardinality {cardinality!r}; cardinalities must "
+                "be positive and finite"
+            )
+
+    def _add_predicate(self, predicate: JoinPredicate, validate: bool) -> None:
         n = len(self._relations)
+        if predicate.left == predicate.right:
+            raise ValueError(
+                f"self-join edge on relation {predicate.left}; a relation "
+                "cannot join with itself in the join graph"
+            )
         if not (0 <= predicate.left < n and 0 <= predicate.right < n):
             raise ValueError(f"predicate {predicate} references unknown relation")
         if predicate.right in self._adjacency[predicate.left]:
@@ -56,6 +92,21 @@ class JoinGraph:
                 f"duplicate edge between {predicate.left} and {predicate.right}; "
                 "fold parallel predicates before building the graph"
             )
+        if validate:
+            for side in (predicate.left, predicate.right):
+                distinct = predicate.distinct_values(side)
+                rows = self._relations[side].base_cardinality
+                if not math.isfinite(distinct) or distinct <= 0:
+                    raise ValueError(
+                        f"predicate {predicate} has invalid distinct-value "
+                        f"count {distinct!r} on relation {side}"
+                    )
+                if distinct > rows:
+                    raise ValueError(
+                        f"predicate {predicate} claims {distinct:g} distinct "
+                        f"values on relation {side}, which has only "
+                        f"{rows} rows"
+                    )
         self._adjacency[predicate.left][predicate.right] = predicate
         self._adjacency[predicate.right][predicate.left] = predicate
         self._predicates.append(predicate)
@@ -179,7 +230,7 @@ class JoinGraph:
                         predicate.right_distinct,
                     )
                 )
-        return JoinGraph(relations, predicates)
+        return JoinGraph(relations, predicates, validate=self._validated)
 
     # ------------------------------------------------------------------
     # Spanning trees (used by the KBZ heuristic's algorithm G)

@@ -40,8 +40,13 @@ class JoinPredicate:
 
     @property
     def selectivity(self) -> float:
-        """Join selectivity ``J = 1 / max(D_left, D_right)``."""
-        return 1.0 / max(self.left_distinct, self.right_distinct)
+        """Join selectivity ``J = 1 / max(D_left, D_right)``.
+
+        Clamped into ``(0, 1]``: fractional distinct counts (legal, they
+        are estimates) would otherwise yield a "selectivity" above one and
+        let a join *grow* its inputs beyond the cross-product bound.
+        """
+        return 1.0 / max(self.left_distinct, self.right_distinct, 1.0)
 
     def distinct_values(self, relation: int) -> float:
         """Distinct values of the join column on ``relation``'s side."""

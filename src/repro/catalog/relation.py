@@ -13,6 +13,7 @@ The paper characterises each joining relation by
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 from repro.utils.validation import check_fraction, check_positive
@@ -48,6 +49,10 @@ class Relation:
 
     def __post_init__(self) -> None:
         check_positive("base_cardinality", self.base_cardinality)
+        if not math.isfinite(self.base_cardinality):
+            raise ValueError(
+                f"base_cardinality must be finite, got {self.base_cardinality!r}"
+            )
 
     @property
     def selectivity(self) -> float:

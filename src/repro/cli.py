@@ -12,6 +12,20 @@ Commands
     List the available optimization methods.
 ``benchmarks``
     List the synthetic benchmark variations.
+
+Exit codes
+----------
+0
+    Success: a verified plan was produced cleanly.
+2
+    Usage error: bad arguments, unknown method, unparsable query,
+    invalid statistics.
+3
+    Degraded success (``--resilient``): a verified plan was produced,
+    but the fallback chain had to recover from failures; the failure
+    log is printed to stderr.
+4
+    No valid plan: every stage of the resilient fallback chain failed.
 """
 
 from __future__ import annotations
@@ -32,6 +46,11 @@ from repro.workloads.benchmarks import benchmark_spec, benchmark_specs
 from repro.workloads.generator import generate_query
 
 _EXPERIMENTS = ("table1", "table2", "table3", "figure4", "figure5", "figure6", "figure7")
+
+EXIT_OK = 0
+EXIT_USAGE = 2
+EXIT_DEGRADED = 3
+EXIT_NO_PLAN = 4
 
 
 def _cost_model(name: str):
@@ -62,7 +81,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--time-factor", type=float, default=9.0, help="time limit factor k in kN^2"
     )
 
-    cmd = sub.add_parser("optimize", parents=[common], help="optimize one query")
+    resilience = argparse.ArgumentParser(add_help=False)
+    resilience.add_argument(
+        "--resilient",
+        action="store_true",
+        help="absorb optimizer failures via the fallback chain "
+        "(exit code 3 when the result is degraded)",
+    )
+    resilience.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="rotated-seed retries per stage of the fallback chain",
+    )
+
+    cmd = sub.add_parser(
+        "optimize", parents=[common, resilience], help="optimize one query"
+    )
     cmd.add_argument("--method", default="IAI", help="optimization method")
     cmd.add_argument("--explain", action="store_true", help="print the join tree")
 
@@ -98,7 +133,9 @@ def _build_parser() -> argparse.ArgumentParser:
         "--units-per-n2", type=float, default=DEFAULT_UNITS_PER_N2 / 3
     )
 
-    cmd = sub.add_parser("sql", help="optimize a SQL query against a catalog")
+    cmd = sub.add_parser(
+        "sql", parents=[resilience], help="optimize a SQL query against a catalog"
+    )
     cmd.add_argument("query", help="SQL text (quote the whole query)")
     cmd.add_argument(
         "--catalog", required=True, help="path to a JSON statistics catalog"
@@ -114,6 +151,18 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _report_degradation(result) -> int:
+    """Print the failure log to stderr; return the appropriate exit code."""
+    if not result.degraded:
+        return EXIT_OK
+    from repro.robustness.resilience import FailureLog
+
+    print(
+        FailureLog(records=list(result.failures)).summary(), file=sys.stderr
+    )
+    return EXIT_DEGRADED
+
+
 def _cmd_optimize(args: argparse.Namespace) -> int:
     spec = benchmark_spec(args.benchmark)
     query = generate_query(spec, args.joins, args.seed)
@@ -123,16 +172,20 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         model=_cost_model(args.model),
         time_factor=args.time_factor,
         seed=args.seed,
+        resilient=args.resilient,
+        max_retries=args.max_retries,
     )
     print(f"query          : {query.name} (N={query.n_joins})")
     print(f"method         : {result.method}")
     print(f"plan cost      : {result.cost:,.0f}")
     print(f"plans evaluated: {result.n_evaluations:,}")
     print(f"join order     : {result.order}")
+    if result.degraded:
+        print(f"degraded       : yes ({len(result.failures)} failure(s))")
     if args.explain:
         print()
         print(result.join_tree().explain())
-    return 0
+    return _report_degradation(result)
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
@@ -254,15 +307,19 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         model=_cost_model(args.model),
         time_factor=args.time_factor,
         seed=args.seed,
+        resilient=args.resilient,
+        max_retries=args.max_retries,
     )
     print(f"relations : {query.graph.n_relations}  joins: {query.n_joins}")
     print(f"method    : {result.method}")
     print(f"plan cost : {result.cost:,.0f}")
     print(f"join order: {result.order}")
+    if result.degraded:
+        print(f"degraded  : yes ({len(result.failures)} failure(s))")
     if args.explain:
         print()
         print(result.join_tree().explain())
-    return 0
+    return _report_degradation(result)
 
 
 def _cmd_methods() -> int:
@@ -280,9 +337,7 @@ def _cmd_benchmarks() -> int:
     return 0
 
 
-def main(argv: Sequence[str] | None = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    args = _build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "optimize":
         return _cmd_optimize(args)
     if args.command == "compare":
@@ -300,6 +355,24 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "benchmarks":
         return _cmd_benchmarks()
     raise AssertionError(f"unhandled command {args.command!r}")
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (see module docstring)."""
+    from repro.robustness.resilience import NoValidPlanError
+
+    args = _build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except NoValidPlanError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_NO_PLAN
+    except (ValueError, KeyError) as exc:
+        # Unknown methods/benchmarks/tables, unparsable queries, invalid
+        # statistics: usage errors, matching argparse's own exit code.
+        message = exc.args[0] if exc.args else exc
+        print(f"error: {message}", file=sys.stderr)
+        return EXIT_USAGE
 
 
 if __name__ == "__main__":

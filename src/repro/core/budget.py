@@ -106,6 +106,18 @@ class Budget:
         """True when ``units`` more work fits within the limit."""
         return self.spent + units <= self.limit
 
+    def carve(self, fraction: float) -> "Budget":
+        """A fresh budget of ``fraction`` of this budget's *original* limit.
+
+        Used by the resilient fallback chain to grant each recovery stage a
+        bounded, unspent allowance regardless of how much the failed attempt
+        consumed (a crashed attempt may have drained everything).  The carve
+        is intentionally not deducted from this budget: recovery overhead is
+        bounded extra work, priced at ``fraction`` per stage.
+        """
+        check_positive("fraction", fraction)
+        return Budget(limit=max(1.0, self.limit * fraction))
+
 
 class WallClockBudget(Budget):
     """A budget bounded by elapsed wall-clock time instead of work units.
@@ -149,3 +161,8 @@ class WallClockBudget(Budget):
 
     def can_afford(self, units: float) -> bool:
         return not self.exhausted
+
+    def carve(self, fraction: float) -> "WallClockBudget":
+        """A fresh wall-clock allowance sharing this budget's clock."""
+        check_positive("fraction", fraction)
+        return WallClockBudget(self.seconds * fraction, clock=self._clock)

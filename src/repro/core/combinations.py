@@ -74,6 +74,11 @@ class Strategy(ABC):
 
     name: str = "abstract"
     description: str = ""
+    #: Whether the method's outcome depends on its random stream.  The
+    #: resilient fallback chain retries stochastic methods with rotated
+    #: derived seeds; deterministic (pure-heuristic) methods get a single
+    #: retry, since re-running them with a new seed changes nothing.
+    stochastic: bool = True
 
     @abstractmethod
     def run(
@@ -364,6 +369,8 @@ class KBIStrategy(AGIStrategy):
 class PureAugmentationStrategy(Strategy):
     """Generate and evaluate the augmentation states, then stop."""
 
+    stochastic = False
+
     def __init__(self, criterion: AugmentationCriterion) -> None:
         self.criterion = criterion
         self.name = f"AUG{int(criterion)}"
@@ -383,6 +390,8 @@ class PureAugmentationStrategy(Strategy):
 
 class PureKBZStrategy(Strategy):
     """Generate and evaluate the KBZ per-root states, then stop."""
+
+    stochastic = False
 
     def __init__(self, weight: AugmentationCriterion) -> None:
         self.weight = weight
@@ -440,8 +449,15 @@ def available_method_names() -> list[str]:
     return sorted(_FACTORIES)
 
 
-def make_strategy(name: str) -> Strategy:
-    """Instantiate a strategy by its method name (case-insensitive)."""
+def make_strategy(name: str | Strategy) -> Strategy:
+    """Instantiate a strategy by its method name (case-insensitive).
+
+    A :class:`Strategy` instance is passed through unchanged, which lets
+    tests and the fault-injection harness drive wrapped or custom
+    strategies through ``optimize()`` without registering them.
+    """
+    if isinstance(name, Strategy):
+        return name
     try:
         factory = _FACTORIES[name.upper()]
     except KeyError:

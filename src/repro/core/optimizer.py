@@ -19,6 +19,7 @@ from repro.catalog.join_graph import JoinGraph, Query
 from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
 from repro.core.combinations import (
     MethodParams,
+    Strategy,
     available_method_names,
     make_strategy,
 )
@@ -34,7 +35,13 @@ from repro.utils.rng import derive_rng
 
 @dataclass(frozen=True)
 class OptimizationResult:
-    """Outcome of one optimizer invocation."""
+    """Outcome of one optimizer invocation.
+
+    ``degraded`` is True when the resilient fallback chain had to recover
+    from at least one failure to produce this result; ``failures`` holds
+    the corresponding :class:`~repro.robustness.resilience.FailureRecord`
+    entries, in the order they occurred (empty for clean runs).
+    """
 
     method: str
     graph: JoinGraph
@@ -43,6 +50,8 @@ class OptimizationResult:
     units_spent: float
     n_evaluations: int
     trajectory: tuple[tuple[float, float], ...]
+    degraded: bool = False
+    failures: tuple = ()
 
     def best_cost_within(self, units: float) -> float | None:
         """Best cost known once ``units`` had been spent (trajectory read)."""
@@ -63,9 +72,14 @@ def available_methods() -> list[str]:
     return available_method_names()
 
 
+def _method_label(method: str | Strategy) -> str:
+    """The method name reported on results (``"IAI"``, ``"SAJ"``, ...)."""
+    return method.name if isinstance(method, Strategy) else method.upper()
+
+
 def _optimize_connected(
     graph: JoinGraph,
-    method: str,
+    method: str | Strategy,
     model: CostModel,
     budget: Budget,
     seed: int,
@@ -74,8 +88,12 @@ def _optimize_connected(
 ) -> Evaluator:
     """Run one strategy on a connected graph; returns its evaluator."""
     strategy = make_strategy(method)
+    # The RNG stream is keyed on the method *string* exactly as passed, so
+    # historical seeds stay bit-for-bit reproducible; Strategy instances
+    # key on their registered name.
+    rng_key = method if isinstance(method, str) else strategy.name
+    rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)
     evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
-    rng = derive_rng(seed, "optimize", method, graph.n_relations)
     if graph.n_relations == 1:
         evaluator.best = None
         return evaluator
@@ -88,7 +106,7 @@ def _optimize_connected(
 
 def optimize(
     query: Query | JoinGraph,
-    method: str = "IAI",
+    method: str | Strategy = "IAI",
     model: CostModel | None = None,
     time_factor: float = 9.0,
     units_per_n2: float = DEFAULT_UNITS_PER_N2,
@@ -97,6 +115,8 @@ def optimize(
     params: MethodParams | None = None,
     stop_at_bound: bool = False,
     bound_tolerance: float = 1.05,
+    resilient: bool = False,
+    max_retries: int = 2,
 ) -> OptimizationResult:
     """Optimize a join query with one of the paper's methods.
 
@@ -119,6 +139,19 @@ def optimize(
         Enable the paper's early-stopping rule: stop as soon as a plan
         costs at most ``bound_tolerance`` times the lower bound on the
         optimum (see :func:`repro.cost.bounds.lower_bound`).
+    resilient / max_retries:
+        With ``resilient=True``, failures (cost-model exceptions, NaN/inf
+        costs, corrupted statistics, exhausted budgets) are absorbed by a
+        fallback chain — rotated-seed retries, method degradation, and a
+        deterministic spanning order as a last resort — instead of
+        propagating; see :mod:`repro.robustness.resilience`.  The result's
+        ``degraded``/``failures`` fields record what happened.
+        ``max_retries`` bounds the rotated-seed retries per stage.
+
+    Every returned plan — resilient or not — passes the verification gate
+    (:func:`repro.robustness.verify.verify_plan`): the order is a valid
+    permutation, cross products appear only between components, and the
+    cost is finite, non-negative, and agrees with recomputation.
     """
     graph = query.graph if isinstance(query, Query) else query
     if model is None:
@@ -132,6 +165,22 @@ def optimize(
         bound_tolerance * lower_bound(graph, model) if stop_at_bound else None
     )
 
+    if resilient:
+        # Imported lazily: robustness is a layer above core and importing
+        # it at module scope would be circular.
+        from repro.robustness.resilience import resilient_optimize
+
+        return resilient_optimize(
+            graph,
+            method=method,
+            model=model,
+            budget=budget,
+            seed=seed,
+            params=params,
+            target_cost=target_cost,
+            max_retries=max_retries,
+        )
+
     if graph.is_connected:
         evaluator = _optimize_connected(
             graph, method, model, budget, seed, params, target_cost
@@ -140,8 +189,8 @@ def optimize(
             raise BudgetExhausted(
                 "budget expired before any plan could be evaluated"
             )
-        return OptimizationResult(
-            method=method.upper(),
+        result = OptimizationResult(
+            method=_method_label(method),
             graph=graph,
             order=evaluator.best.order,
             cost=evaluator.best.cost,
@@ -149,14 +198,19 @@ def optimize(
             n_evaluations=evaluator.n_evaluations,
             trajectory=tuple(evaluator.trajectory),
         )
-    return _optimize_disconnected(
-        graph, method, model, budget, seed, params
-    )
+    else:
+        result = _optimize_disconnected(
+            graph, method, model, budget, seed, params
+        )
+    from repro.robustness.verify import verify_or_raise
+
+    verify_or_raise(result.order, result.cost, graph, model)
+    return result
 
 
 def _optimize_disconnected(
     graph: JoinGraph,
-    method: str,
+    method: str | Strategy,
     model: CostModel,
     budget: Budget,
     seed: int,
@@ -202,7 +256,7 @@ def _optimize_disconnected(
     order = JoinOrder(positions)
     cost = model.plan_cost(order, graph)
     return OptimizationResult(
-        method=method.upper(),
+        method=_method_label(method),
         graph=graph,
         order=order,
         cost=cost,

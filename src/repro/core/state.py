@@ -10,6 +10,7 @@ same trick the paper's sweeps rely on.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right
 from dataclasses import dataclass
 
@@ -70,7 +71,11 @@ class Evaluator:
         cost = self.model.plan_cost(order, self.graph)
         self.n_evaluations += 1
         self._record(order, cost)
-        if self.target_cost is not None and self.best.cost <= self.target_cost:
+        if (
+            self.target_cost is not None
+            and self.best is not None
+            and self.best.cost <= self.target_cost
+        ):
             raise TargetReached(
                 f"solution cost {self.best.cost:.6g} at or below target "
                 f"{self.target_cost:.6g}"
@@ -78,6 +83,11 @@ class Evaluator:
         return cost
 
     def _record(self, order: JoinOrder, cost: float) -> None:
+        if not math.isfinite(cost):
+            # A NaN/inf cost must never become (or poison) the best
+            # solution: NaN in particular compares false against
+            # everything and would freeze ``best`` forever.
+            return
         if self.best is None or cost < self.best.cost:
             self.best = Evaluation(order, cost)
             self.trajectory.append((self.budget.spent, cost))

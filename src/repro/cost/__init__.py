@@ -8,8 +8,11 @@ join method is used, as in the paper.
 
 from repro.cost.base import CostModel, PlanCostDetail
 from repro.cost.cardinality import (
+    CostOverflowError,
+    MAX_CARDINALITY,
     PlanEstimator,
     StepEstimate,
+    clamp_cardinality,
     combined_selectivity,
     join_result_cardinality,
     prefix_cardinalities,
@@ -27,6 +30,9 @@ from repro.cost.static import StaticCostModel
 
 __all__ = [
     "CostModel",
+    "CostOverflowError",
+    "MAX_CARDINALITY",
+    "clamp_cardinality",
     "PlanCostDetail",
     "PlanEstimator",
     "StepEstimate",

@@ -10,12 +10,15 @@ evaluation with charging.
 
 from __future__ import annotations
 
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
 from repro.catalog.join_graph import JoinGraph
-from repro.cost.cardinality import PlanEstimator
+from repro.cost.cardinality import CostOverflowError, PlanEstimator
 from repro.plans.join_order import JoinOrder
+
+__all__ = ["CostModel", "CostOverflowError", "PlanCostDetail"]
 
 
 @dataclass(frozen=True)
@@ -57,13 +60,24 @@ class CostModel(ABC):
         """Cost of one hash join with the given estimated sizes."""
 
     def plan_cost(self, order: JoinOrder, graph: JoinGraph) -> float:
-        """Total cost of the outer-linear plan given by ``order``."""
+        """Total cost of the outer-linear plan given by ``order``.
+
+        Raises :class:`CostOverflowError` if any join's cost (or the
+        running total) leaves the finite float range — a symptom of a
+        broken cost model or corrupted statistics, never of a merely
+        expensive plan (cardinalities are clamped upstream).
+        """
         estimator = PlanEstimator(graph, order[0])
         total = 0.0
         for position in range(1, len(order)):
             step = estimator.step(order[position])
             total += self.join_cost(
                 step.outer_size, step.inner_size, step.result_size
+            )
+        if not math.isfinite(total):
+            raise CostOverflowError(
+                f"{self.name} cost model produced non-finite plan cost "
+                f"{total!r} for order {order}"
             )
         return total
 
@@ -74,9 +88,15 @@ class CostModel(ABC):
         prefix_sizes: list[float] = []
         for position in range(1, len(order)):
             step = estimator.step(order[position])
-            join_costs.append(
-                self.join_cost(step.outer_size, step.inner_size, step.result_size)
+            cost = self.join_cost(
+                step.outer_size, step.inner_size, step.result_size
             )
+            if not math.isfinite(cost):
+                raise CostOverflowError(
+                    f"{self.name} cost model produced non-finite join cost "
+                    f"{cost!r} at position {position} of {order}"
+                )
+            join_costs.append(cost)
             prefix_sizes.append(step.result_size)
         return PlanCostDetail(
             order=order,

@@ -30,12 +30,48 @@ base-relation statistics.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Sequence
 
 from repro.catalog.join_graph import JoinGraph
 from repro.catalog.predicates import JoinPredicate
 from repro.plans.join_order import JoinOrder
+
+#: Ceiling on any estimated cardinality.  Chosen so that the product of two
+#: clamped sizes (and hence any per-join cost term) still fits comfortably
+#: in a float: 1e150 squared is 1e300 < DBL_MAX.  Estimates this large carry
+#: no ordering information anyway — every plan that reaches the clamp is
+#: equally hopeless.
+MAX_CARDINALITY = 1e150
+
+
+class CostOverflowError(OverflowError):
+    """A cardinality or cost computation left the finite float range.
+
+    Raised instead of silently propagating ``inf``/``NaN`` so that callers
+    (and the resilient optimizer's fallback chain) can distinguish a broken
+    estimate from a merely enormous one.
+    """
+
+
+def clamp_cardinality(estimate: float, context: str = "estimate") -> float:
+    """Clamp ``estimate`` into ``[1, MAX_CARDINALITY]``; reject non-finite.
+
+    The lower clamp preserves the library-wide "at least one tuple"
+    convention; the upper clamp keeps downstream arithmetic finite.  A NaN
+    or infinite input means a statistic upstream was already corrupt, which
+    clamping would mask — that raises :class:`CostOverflowError` instead.
+    """
+    if not math.isfinite(estimate):
+        raise CostOverflowError(
+            f"non-finite cardinality {context}: {estimate!r}"
+        )
+    if estimate > MAX_CARDINALITY:
+        return MAX_CARDINALITY
+    if estimate < 1.0:
+        return 1.0
+    return estimate
 
 
 def combined_selectivity(predicates: Sequence[JoinPredicate]) -> float:
@@ -53,7 +89,7 @@ def join_result_cardinality(
 ) -> float:
     """Static estimate (no propagation) of one join's result size."""
     estimate = outer_size * inner_size * combined_selectivity(predicates)
-    return max(1.0, estimate)
+    return clamp_cardinality(estimate, "join result")
 
 
 @dataclass(frozen=True)
@@ -83,7 +119,9 @@ class PlanEstimator:
     def __init__(self, graph: JoinGraph, first: int) -> None:
         self.graph = graph
         self.placed: list[int] = [first]
-        self.size: float = graph.cardinality(first)
+        self.size: float = clamp_cardinality(
+            graph.cardinality(first), f"relation {first}"
+        )
         self._caps: dict[int, float] = {}
         self._unplaced_neighbors: dict[int, int] = {}
         self._placed_set = {first}
@@ -145,8 +183,9 @@ class PlanEstimator:
         inner_size = self._cardinalities[inner]
         outer_size = self.size
         result = outer_size * inner_size * selectivity
-        if result < 1.0:
-            result = 1.0
+        if not (1.0 <= result <= MAX_CARDINALITY):
+            # Slow path: clamp overflowing estimates, reject NaN/inf.
+            result = clamp_cardinality(result, f"joining relation {inner}")
 
         if open_inner:
             unplaced_neighbors[inner] = open_inner

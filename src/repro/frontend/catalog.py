@@ -43,6 +43,13 @@ class TableStats:
 
     def __post_init__(self) -> None:
         check_positive("cardinality", self.cardinality)
+        for column, stats in self.columns.items():
+            if stats.distinct > self.cardinality:
+                raise ValueError(
+                    f"column {self.name}.{column} claims {stats.distinct:g} "
+                    f"distinct values but the table has only "
+                    f"{self.cardinality} rows"
+                )
 
     def column(self, name: str) -> ColumnStats:
         stats = self.columns.get(name)

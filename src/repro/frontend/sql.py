@@ -306,7 +306,11 @@ def parse_query(
             )
         )
 
-    graph = JoinGraph(relations, predicates)
+    # The folded predicates carry *synthetic* distinct counts (scaled so the
+    # combined selectivity of parallel predicates is preserved), which may
+    # exceed the owning table's row count.  Input statistics were already
+    # validated at catalog registration, so skip the graph-level check.
+    graph = JoinGraph(relations, predicates, validate=False)
     return Query(
         graph=graph,
         name=name or "sql-query",

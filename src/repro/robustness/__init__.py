@@ -1,0 +1,67 @@
+"""Robustness subsystem: fault injection, fallback chains, verification.
+
+Production query optimizers must *always* return the best valid plan found
+so far, degraded if necessary — a crash, a corrupt statistic, or an expired
+budget must never propagate to the caller as an unhandled exception.  This
+package provides the three pieces that deliver the guarantee:
+
+:mod:`repro.robustness.faults`
+    A deterministic, seedable fault-injection harness: wrap a cost model,
+    corrupt a catalog, or sabotage a strategy, and drive the optimizer
+    through every failure mode on purpose (chaos testing).
+:mod:`repro.robustness.verify`
+    The plan-verification gate every optimization result passes before it
+    is returned, plus catalog validation and sanitization.
+:mod:`repro.robustness.resilience`
+    The fallback chain behind ``optimize(..., resilient=True)``: retry
+    with rotated seeds, degrade method → augmentation → deterministic
+    spanning order, and record every step in a structured ``FailureLog``.
+"""
+
+from repro.robustness.faults import (
+    CORRUPTION_KINDS,
+    FAULT_KINDS,
+    FaultSpec,
+    FaultyCostModel,
+    FaultyStrategy,
+    InjectedFault,
+    StallingClock,
+    corrupt_catalog,
+)
+from repro.robustness.resilience import (
+    FailureLog,
+    FailureRecord,
+    NoValidPlanError,
+    deterministic_fallback_order,
+    resilient_optimize,
+)
+from repro.robustness.verify import (
+    PlanVerificationError,
+    VerificationReport,
+    catalog_violations,
+    sanitize_catalog,
+    verify_or_raise,
+    verify_plan,
+)
+
+__all__ = [
+    "CORRUPTION_KINDS",
+    "FAULT_KINDS",
+    "FaultSpec",
+    "FaultyCostModel",
+    "FaultyStrategy",
+    "InjectedFault",
+    "StallingClock",
+    "corrupt_catalog",
+    "FailureLog",
+    "FailureRecord",
+    "NoValidPlanError",
+    "deterministic_fallback_order",
+    "resilient_optimize",
+    "PlanVerificationError",
+    "VerificationReport",
+    "catalog_violations",
+    "sanitize_catalog",
+    "verify_or_raise",
+    "verify_plan",
+]

@@ -1,0 +1,536 @@
+"""The fallback chain behind ``optimize(..., resilient=True)``.
+
+The paper's framing is anytime combinatorial search under a fixed time
+budget: the optimizer must **always return the best valid plan found so
+far**, degraded if necessary.  This module delivers that guarantee through
+a staged chain, every step of which is recorded in a structured
+:class:`FailureLog` attached to the returned result:
+
+1. **Pre-flight** — validate the catalog; corrupted statistics are
+   repaired with conservative clamps (:func:`sanitize_catalog`) rather
+   than crashing the search.
+2. **Attempt** — run the requested method on the full budget.  A crash
+   mid-search is caught; whatever best plan its evaluator had already
+   recorded still competes.
+3. **Retries** — stochastic methods are retried with rotated derived
+   seeds (deterministic methods once, in case the failure was transient);
+   each retry gets a fresh :data:`RETRY_BUDGET_FRACTION` carve of the
+   original budget, so a drained budget cannot starve recovery.
+4. **Method degradation** — the pure augmentation heuristic, then KBZ:
+   cheap, deterministic, and immune to move-generator bugs.
+5. **Last resort** — a deterministic spanning order (smallest-cardinality
+   greedy growth, components contiguous), which is valid by construction.
+
+Every candidate — including the last resort — must pass the plan
+verification gate (:func:`~repro.robustness.verify.verify_plan`) before it
+is returned.  Only when every stage fails does :class:`NoValidPlanError`
+escape, carrying the full failure log.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.budget import Budget
+from repro.core.combinations import MethodParams, Strategy, make_strategy
+from repro.core.optimizer import OptimizationResult
+from repro.core.state import Evaluator
+from repro.cost.base import CostModel
+from repro.cost.cardinality import prefix_cardinalities
+from repro.plans.join_order import JoinOrder
+from repro.robustness.verify import (
+    catalog_violations,
+    sanitize_catalog,
+    verify_plan,
+)
+from repro.utils.rng import derive_rng, derive_seed
+
+#: Share of the original budget granted to each recovery stage (retries and
+#: method fallbacks).  Recovery overhead is therefore bounded by
+#: ``(n_stages * RETRY_BUDGET_FRACTION)`` of the requested work.
+RETRY_BUDGET_FRACTION = 0.25
+
+#: Degradation chain tried after the requested method's retries: the pure
+#: augmentation heuristic first (the paper's strongest cheap heuristic),
+#: then KBZ.  Both are deterministic and finish in a few states.
+FALLBACK_METHODS = ("AUG", "KBZ")
+
+#: Method name reported when the deterministic spanning order is returned.
+SPANNING_METHOD = "SPANNING"
+
+
+@dataclass(frozen=True)
+class FailureRecord:
+    """One failure the fallback chain observed, and what it did about it."""
+
+    stage: str  # "preflight", "attempt", "retry-1", "fallback-AUG", ...
+    method: str
+    seed: int | None
+    kind: str  # "corrupt-catalog" | "exception" | "no-plan" | "verification"
+    detail: str
+    action: str
+
+    def __str__(self) -> str:
+        seed = "" if self.seed is None else f" (seed {self.seed})"
+        return (
+            f"[{self.stage}] {self.method}{seed}: {self.kind} — "
+            f"{self.detail} -> {self.action}"
+        )
+
+
+@dataclass
+class FailureLog:
+    """An ordered record of every failure seen during one optimization."""
+
+    records: list[FailureRecord] = field(default_factory=list)
+
+    def add(self, **kwargs) -> None:
+        self.records.append(FailureRecord(**kwargs))
+
+    def extend(self, records) -> None:
+        self.records.extend(records)
+
+    def as_tuple(self) -> tuple[FailureRecord, ...]:
+        return tuple(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __bool__(self) -> bool:
+        return bool(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def summary(self) -> str:
+        """Multi-line human-readable summary (printed to stderr by the CLI)."""
+        if not self.records:
+            return "no failures recorded"
+        lines = [f"{len(self.records)} failure(s) during optimization:"]
+        lines.extend(f"  {record}" for record in self.records)
+        return "\n".join(lines)
+
+
+class NoValidPlanError(RuntimeError):
+    """Every stage of the fallback chain failed to produce a valid plan."""
+
+    def __init__(self, message: str, failures: FailureLog) -> None:
+        super().__init__(f"{message}\n{failures.summary()}")
+        self.failures = failures
+
+
+def _method_name(method: str | Strategy) -> str:
+    return method.name if isinstance(method, Strategy) else str(method).upper()
+
+
+def deterministic_fallback_order(graph: JoinGraph) -> JoinOrder:
+    """A valid join order built without any search or random choice.
+
+    Each component is grown greedily from its smallest relation, always
+    placing the smallest-cardinality frontier relation next (ties break on
+    vertex index); components are emitted smallest-first and contiguously.
+    Valid by construction, stable across runs — the chain's last resort.
+    """
+
+    def size_key(vertex: int) -> tuple[float, int]:
+        cardinality = graph.cardinality(vertex)
+        if not math.isfinite(cardinality):
+            cardinality = math.inf
+        return (cardinality, vertex)
+
+    positions: list[int] = []
+    components = sorted(graph.components, key=lambda c: min(size_key(v) for v in c))
+    for component in components:
+        members = set(component)
+        start = min(component, key=size_key)
+        placed = [start]
+        placed_set = {start}
+        frontier = {n for n in graph.neighbors(start) if n in members}
+        while len(placed) < len(component):
+            candidates = sorted(frontier - placed_set, key=size_key)
+            nxt = candidates[0]
+            placed.append(nxt)
+            placed_set.add(nxt)
+            frontier.update(
+                n
+                for n in graph.neighbors(nxt)
+                if n in members and n not in placed_set
+            )
+        positions.extend(placed)
+    return JoinOrder(positions)
+
+
+def _run_guarded(
+    graph: JoinGraph,
+    method: str | Strategy,
+    model: CostModel,
+    budget: Budget,
+    seed: int,
+    params: MethodParams,
+    target_cost: float | None,
+) -> tuple[Evaluator, BaseException | None]:
+    """Run one strategy, catching *everything*; the evaluator keeps the best.
+
+    ``BudgetExhausted``/``TargetReached`` are the normal anytime exits and
+    are not reported as errors; any other exception is returned for the
+    chain to log — together with whatever best plan was found before it.
+    """
+    from repro.core.budget import BudgetExhausted
+    from repro.core.state import TargetReached
+
+    strategy = make_strategy(method)
+    evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
+    rng_key = method if isinstance(method, str) else strategy.name
+    rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)
+    error: BaseException | None = None
+    try:
+        strategy.run(evaluator, rng, params)
+    except (BudgetExhausted, TargetReached):
+        pass
+    except Exception as exc:
+        error = exc
+    return evaluator, error
+
+
+def _stages(
+    method: str | Strategy,
+    method_name: str,
+    seed: int,
+    budget: Budget,
+    max_retries: int,
+):
+    """Yield ``(stage, method, seed, budget)`` for the whole chain."""
+    yield "attempt", method, seed, budget
+    stochastic = make_strategy(method).stochastic
+    n_retries = max_retries if stochastic else min(1, max_retries)
+    for i in range(1, n_retries + 1):
+        retry_seed = (
+            derive_seed(seed, "resilience", "retry", i) if stochastic else seed
+        )
+        yield f"retry-{i}", method, retry_seed, budget.carve(
+            RETRY_BUDGET_FRACTION
+        )
+    for fallback in FALLBACK_METHODS:
+        if method_name.startswith(fallback):
+            continue
+        yield f"fallback-{fallback}", fallback, derive_seed(
+            seed, "resilience", "fallback", fallback
+        ), budget.carve(RETRY_BUDGET_FRACTION)
+
+
+def resilient_optimize(
+    graph: JoinGraph,
+    *,
+    method: str | Strategy = "IAI",
+    model: CostModel,
+    budget: Budget,
+    seed: int = 0,
+    params: MethodParams | None = None,
+    target_cost: float | None = None,
+    max_retries: int = 2,
+) -> OptimizationResult:
+    """Optimize with the full fallback chain; see the module docstring.
+
+    Raises :class:`NoValidPlanError` only when every stage — including the
+    deterministic spanning-order last resort — fails verification.
+    """
+    if max_retries < 0:
+        raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+    if params is None:
+        params = MethodParams()
+    failures = FailureLog()
+    method_name = _method_name(method)
+
+    violations = catalog_violations(graph)
+    if violations:
+        shown = "; ".join(violations[:4])
+        if len(violations) > 4:
+            shown += f" (+{len(violations) - 4} more)"
+        failures.add(
+            stage="preflight",
+            method=method_name,
+            seed=None,
+            kind="corrupt-catalog",
+            detail=shown,
+            action="sanitized catalog statistics and continued",
+        )
+        graph = sanitize_catalog(graph)
+
+    if graph.n_relations == 1:
+        return OptimizationResult(
+            method=method_name,
+            graph=graph,
+            order=JoinOrder([0]),
+            cost=0.0,
+            units_spent=0.0,
+            n_evaluations=0,
+            trajectory=(),
+            degraded=bool(failures),
+            failures=failures.as_tuple(),
+        )
+    if not graph.is_connected:
+        return _resilient_disconnected(
+            graph, method, method_name, model, budget, seed, params,
+            max_retries, failures,
+        )
+    return _resilient_connected(
+        graph, method, method_name, model, budget, seed, params,
+        target_cost, max_retries, failures,
+    )
+
+
+def _resilient_connected(
+    graph: JoinGraph,
+    method: str | Strategy,
+    method_name: str,
+    model: CostModel,
+    budget: Budget,
+    seed: int,
+    params: MethodParams,
+    target_cost: float | None,
+    max_retries: int,
+    failures: FailureLog,
+) -> OptimizationResult:
+    total_spent = 0.0
+    total_evaluations = 0
+    for stage, stage_method, stage_seed, stage_budget in _stages(
+        method, method_name, seed, budget, max_retries
+    ):
+        evaluator, error = _run_guarded(
+            graph, stage_method, model, stage_budget, stage_seed, params,
+            target_cost,
+        )
+        total_spent += stage_budget.spent
+        total_evaluations += evaluator.n_evaluations
+        stage_name = _method_name(stage_method)
+        if error is not None:
+            failures.add(
+                stage=stage,
+                method=stage_name,
+                seed=stage_seed,
+                kind="exception",
+                detail=f"{type(error).__name__}: {error}",
+                action="kept the best plan found so far and continued",
+            )
+        best = evaluator.best
+        if best is None:
+            if error is None:
+                failures.add(
+                    stage=stage,
+                    method=stage_name,
+                    seed=stage_seed,
+                    kind="no-plan",
+                    detail="budget exhausted before any finite-cost plan "
+                    "was recorded",
+                    action="continued down the fallback chain",
+                )
+            continue
+        report = verify_plan(best.order, best.cost, graph, model)
+        if report.ok:
+            return OptimizationResult(
+                method=stage_name,
+                graph=graph,
+                order=best.order,
+                cost=best.cost,
+                units_spent=total_spent,
+                n_evaluations=total_evaluations,
+                trajectory=tuple(evaluator.trajectory),
+                degraded=bool(failures),
+                failures=failures.as_tuple(),
+            )
+        failures.add(
+            stage=stage,
+            method=stage_name,
+            seed=stage_seed,
+            kind="verification",
+            detail="; ".join(report.violations),
+            action="discarded the plan and continued",
+        )
+    result = _last_resort(
+        graph, model, failures, total_spent, total_evaluations
+    )
+    if result is not None:
+        return result
+    raise NoValidPlanError(
+        "every optimization attempt, fallback method, and the deterministic "
+        "spanning order failed to produce a verifiable plan",
+        failures,
+    )
+
+
+def _last_resort(
+    graph: JoinGraph,
+    model: CostModel,
+    failures: FailureLog,
+    total_spent: float,
+    total_evaluations: int,
+) -> OptimizationResult | None:
+    """Price and verify the deterministic spanning order (two tries).
+
+    Two pricing attempts because transient cost-model faults are counted
+    per evaluation: the second call sees a different fault phase.
+    """
+    order = deterministic_fallback_order(graph)
+    for attempt in range(2):
+        try:
+            cost = model.plan_cost(order, graph)
+        except Exception as exc:
+            failures.add(
+                stage=f"last-resort-{attempt + 1}",
+                method=SPANNING_METHOD,
+                seed=None,
+                kind="exception",
+                detail=f"cost model raised {type(exc).__name__}: {exc}",
+                action="re-priced the spanning order"
+                if attempt == 0
+                else "gave up",
+            )
+            continue
+        report = verify_plan(order, cost, graph, model)
+        if report.ok:
+            return OptimizationResult(
+                method=SPANNING_METHOD,
+                graph=graph,
+                order=order,
+                cost=cost,
+                units_spent=total_spent,
+                n_evaluations=total_evaluations,
+                trajectory=((total_spent, cost),),
+                degraded=True,
+                failures=failures.as_tuple(),
+            )
+        failures.add(
+            stage=f"last-resort-{attempt + 1}",
+            method=SPANNING_METHOD,
+            seed=None,
+            kind="verification",
+            detail="; ".join(report.violations),
+            action="re-verified the spanning order"
+            if attempt == 0
+            else "gave up",
+        )
+    return None
+
+
+def _resilient_disconnected(
+    graph: JoinGraph,
+    method: str | Strategy,
+    method_name: str,
+    model: CostModel,
+    budget: Budget,
+    seed: int,
+    params: MethodParams,
+    max_retries: int,
+    failures: FailureLog,
+) -> OptimizationResult:
+    """Postpone cross products, with per-component resilience.
+
+    Mirrors the non-resilient disconnected path (budget shares
+    proportional to each component's ``N^2``), but each component is
+    optimized resiliently; a component whose whole chain fails degrades to
+    its deterministic spanning order rather than failing the query.
+    """
+    components = graph.components
+    weights = [max(1, len(c) - 1) ** 2 for c in components]
+    total_weight = sum(weights)
+    pieces: list[tuple[float, list[int]]] = []
+    n_evaluations = 0
+    total_spent = 0.0
+    used_methods: set[str] = set()
+    for component, weight in zip(components, weights):
+        subgraph = graph.subgraph(component)
+        if subgraph.n_relations == 1:
+            size = subgraph.cardinality(0)
+            if not math.isfinite(size):
+                size = math.inf
+            pieces.append((size, list(component)))
+            continue
+        share = Budget(limit=max(1.0, budget.remaining * weight / total_weight))
+        try:
+            result = resilient_optimize(
+                subgraph,
+                method=method,
+                model=model,
+                budget=share,
+                seed=seed,
+                params=params,
+                max_retries=max_retries,
+            )
+        except NoValidPlanError as exc:
+            failures.extend(exc.failures)
+            failures.add(
+                stage="component",
+                method=method_name,
+                seed=seed,
+                kind="no-plan",
+                detail=f"component {component} produced no verifiable plan",
+                action="used its deterministic spanning order",
+            )
+            local = deterministic_fallback_order(subgraph)
+            local_order = [component[i] for i in local]
+            pieces.append((_safe_final_size(local, subgraph), local_order))
+            continue
+        failures.extend(result.failures)
+        used_methods.add(result.method)
+        budget.spent = min(budget.limit, budget.spent + result.units_spent)
+        total_spent += result.units_spent
+        n_evaluations += result.n_evaluations
+        local_order = [component[i] for i in result.order]
+        pieces.append((_safe_final_size(result.order, subgraph), local_order))
+    pieces.sort(key=lambda piece: piece[0])
+    positions: list[int] = []
+    for _, piece in pieces:
+        positions.extend(piece)
+    order = JoinOrder(positions)
+    reported_method = (
+        used_methods.pop() if len(used_methods) == 1 else method_name
+    )
+    for attempt in range(2):
+        try:
+            cost = model.plan_cost(order, graph)
+        except Exception as exc:
+            failures.add(
+                stage=f"concatenation-{attempt + 1}",
+                method=reported_method,
+                seed=seed,
+                kind="exception",
+                detail=f"pricing the concatenated order raised "
+                f"{type(exc).__name__}: {exc}",
+                action="re-priced" if attempt == 0 else "gave up",
+            )
+            continue
+        report = verify_plan(order, cost, graph, model)
+        if report.ok:
+            return OptimizationResult(
+                method=reported_method,
+                graph=graph,
+                order=order,
+                cost=cost,
+                units_spent=total_spent,
+                n_evaluations=n_evaluations,
+                trajectory=((total_spent, cost),),
+                degraded=bool(failures),
+                failures=failures.as_tuple(),
+            )
+        failures.add(
+            stage=f"concatenation-{attempt + 1}",
+            method=reported_method,
+            seed=seed,
+            kind="verification",
+            detail="; ".join(report.violations),
+            action="re-verified" if attempt == 0 else "gave up",
+        )
+    raise NoValidPlanError(
+        "the concatenated per-component plan failed verification",
+        failures,
+    )
+
+
+def _safe_final_size(order: JoinOrder, subgraph: JoinGraph) -> float:
+    """Estimated component result size; ``inf`` when estimation fails."""
+    try:
+        return prefix_cardinalities(order, subgraph)[-1]
+    except Exception:
+        return math.inf

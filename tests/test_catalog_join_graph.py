@@ -136,3 +136,77 @@ def test_chain_graph_fixture_builder_consistent():
     graph = chain_graph([10, 20, 30])
     assert graph.n_relations == 3
     assert graph.has_edge(0, 1) and graph.has_edge(1, 2)
+
+
+class TestConstructionValidation:
+    """Statistics validation at graph construction (robustness satellite)."""
+
+    def test_predicate_itself_rejects_self_join(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(1, 1, 5, 5)
+
+    def test_graph_rejects_smuggled_self_join_edge(self):
+        # A self-loop that slipped past the predicate constructor (e.g. a
+        # corrupted serialized edge) is still caught by the graph.
+        import copy
+
+        loop = copy.copy(JoinPredicate(0, 1, 5, 5))
+        object.__setattr__(loop, "right", 0)
+        relations = make_relations([10, 20])
+        with pytest.raises(ValueError, match="self-join"):
+            JoinGraph(relations, [loop])
+
+    def test_rejects_zero_cardinality_relation(self):
+        import copy
+
+        bad = copy.copy(Relation("R0", 10))
+        object.__setattr__(bad, "base_cardinality", 0)
+        with pytest.raises(ValueError, match="cardinality"):
+            JoinGraph([bad, Relation("R1", 20)], [JoinPredicate(0, 1, 5, 5)])
+
+    def test_rejects_nan_cardinality_relation(self):
+        import copy
+
+        bad = copy.copy(Relation("R0", 10))
+        object.__setattr__(bad, "base_cardinality", float("nan"))
+        with pytest.raises(ValueError, match="cardinality"):
+            JoinGraph([bad, Relation("R1", 20)], [JoinPredicate(0, 1, 5, 5)])
+
+    def test_rejects_distinct_count_above_row_count(self):
+        relations = make_relations([10, 20])
+        with pytest.raises(ValueError, match="only 10 rows"):
+            JoinGraph(relations, [JoinPredicate(0, 1, 500, 5)])
+
+    def test_error_message_names_the_relation(self):
+        relations = make_relations([10, 20])
+        with pytest.raises(ValueError, match="relation 1"):
+            JoinGraph(relations, [JoinPredicate(0, 1, 5, 500)])
+
+    def test_validate_false_admits_corrupt_statistics(self):
+        relations = make_relations([10, 20])
+        graph = JoinGraph(
+            relations, [JoinPredicate(0, 1, 500, 5)], validate=False
+        )
+        assert graph.n_relations == 2  # structural checks still ran
+
+    def test_validate_false_still_rejects_structural_errors(self):
+        relations = make_relations([10, 20])
+        with pytest.raises(ValueError, match="duplicate edge"):
+            JoinGraph(
+                relations,
+                [JoinPredicate(0, 1, 5, 5), JoinPredicate(1, 0, 3, 3)],
+                validate=False,
+            )
+
+    def test_subgraph_inherits_validation_mode(self, two_components):
+        import copy
+
+        bad = copy.copy(two_components.relations[0])
+        object.__setattr__(bad, "base_cardinality", -1)
+        relations = [bad] + list(two_components.relations[1:])
+        graph = JoinGraph(
+            relations, list(two_components.predicates), validate=False
+        )
+        # Extracting the corrupt component must not explode either.
+        sub = graph.subgraph((0, 1))
+        assert sub.n_relations == 2

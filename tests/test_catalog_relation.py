@@ -51,3 +51,23 @@ class TestRelation:
 
     def test_str_mentions_name(self):
         assert "R" in str(Relation("R", 100))
+
+
+class TestCardinalityValidation:
+    """Construction-time rejection of corrupt statistics (robustness)."""
+
+    def test_rejects_negative_cardinality(self):
+        with pytest.raises(ValueError):
+            Relation("R", -5)
+
+    @pytest.mark.parametrize(
+        "bad", [float("nan"), float("inf"), -float("inf")]
+    )
+    def test_rejects_non_finite_cardinality(self, bad):
+        # NaN and -inf already fail the positivity check; +inf needs the
+        # dedicated finiteness check.
+        with pytest.raises(ValueError, match="positive|finite"):
+            Relation("R", bad)
+
+    def test_accepts_float_cardinality(self):
+        assert Relation("R", 10.5).base_cardinality == 10.5

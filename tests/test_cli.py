@@ -60,9 +60,9 @@ class TestOptimizeCommand:
             == 0
         )
 
-    def test_unknown_method_raises(self):
-        with pytest.raises(ValueError, match="unknown method"):
-            main(["optimize", "--joins", "8", "--method", "NOPE"])
+    def test_unknown_method_exits_with_usage_code(self, capsys):
+        assert main(["optimize", "--joins", "8", "--method", "NOPE"]) == 2
+        assert "unknown method" in capsys.readouterr().err
 
 
 class TestCompareCommand:
@@ -83,9 +83,9 @@ class TestCompareCommand:
         out = capsys.readouterr().out
         assert "II" in out and "AGI" in out and "scaled" in out
 
-    def test_validates_method_names_before_running(self):
-        with pytest.raises(ValueError, match="unknown method"):
-            main(["compare", "--joins", "8", "--methods", "II", "BOGUS"])
+    def test_validates_method_names_before_running(self, capsys):
+        assert main(["compare", "--joins", "8", "--methods", "II", "BOGUS"]) == 2
+        assert "unknown method" in capsys.readouterr().err
 
 
 class TestExperimentCommand:
@@ -135,9 +135,9 @@ class TestExactCommand:
         assert "optimal order" in out
         assert "subsets explored" in out
 
-    def test_refuses_large_n(self):
-        with pytest.raises(ValueError, match="subsets"):
-            main(["exact", "--joins", "20", "--max-relations", "16"])
+    def test_refuses_large_n(self, capsys):
+        assert main(["exact", "--joins", "20", "--max-relations", "16"]) == 2
+        assert "subsets" in capsys.readouterr().err
 
 
 class TestLandscapeCommand:
@@ -152,3 +152,118 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestExitCodes:
+    """The documented exit-code contract: 0 ok, 2 usage, 3 degraded, 4 no plan."""
+
+    def test_clean_resilient_run_exits_zero(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--joins",
+                "8",
+                "--time-factor",
+                "1",
+                "--resilient",
+            ]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "degraded" not in captured.out
+        assert captured.err == ""
+
+    def test_degraded_run_exits_three_with_failure_log(self, capsys):
+        # A budget too small for even one evaluation forces the chain all
+        # the way down to the deterministic spanning order.
+        code = main(
+            [
+                "optimize",
+                "--joins",
+                "8",
+                "--time-factor",
+                "0.0001",
+                "--resilient",
+            ]
+        )
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "degraded" in captured.out
+        assert "SPANNING" in captured.out
+        assert "failure(s) during optimization" in captured.err
+        assert "fallback" in captured.err
+
+    def test_non_resilient_tiny_budget_still_raises(self):
+        from repro.core.budget import BudgetExhausted
+
+        with pytest.raises(BudgetExhausted):
+            main(["optimize", "--joins", "8", "--time-factor", "0.0001"])
+
+    def test_no_valid_plan_exits_four(self, capsys, monkeypatch):
+        import repro.cli as cli
+        from repro.robustness.resilience import FailureLog, NoValidPlanError
+
+        def explode(*args, **kwargs):
+            raise NoValidPlanError("nothing verifies", FailureLog())
+
+        monkeypatch.setattr(cli, "optimize", explode)
+        code = main(
+            ["optimize", "--joins", "8", "--time-factor", "1", "--resilient"]
+        )
+        assert code == 4
+        assert "nothing verifies" in capsys.readouterr().err
+
+    def test_max_retries_flag_is_accepted(self, capsys):
+        code = main(
+            [
+                "optimize",
+                "--joins",
+                "8",
+                "--time-factor",
+                "1",
+                "--resilient",
+                "--max-retries",
+                "0",
+            ]
+        )
+        assert code == 0
+
+    def test_sql_usage_error_exits_two(self, tmp_path, capsys):
+        catalog = tmp_path / "catalog.json"
+        catalog.write_text('{"tables": {"t": {"cardinality": 100}}}')
+        code = main(
+            ["sql", "SELECT FROM WHERE", "--catalog", str(catalog)]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_sql_invalid_stats_exit_two(self, tmp_path, capsys):
+        # distinct > cardinality is rejected at catalog load time
+        catalog = tmp_path / "catalog.json"
+        catalog.write_text(
+            '{"tables": {"t": {"cardinality": 10,'
+            ' "columns": {"c": {"distinct": 100}}}}}'
+        )
+        code = main(["sql", "SELECT * FROM t", "--catalog", str(catalog)])
+        assert code == 2
+        assert "distinct" in capsys.readouterr().err
+
+    def test_sql_resilient_flag(self, tmp_path, capsys):
+        catalog = tmp_path / "catalog.json"
+        catalog.write_text(
+            '{"tables": {'
+            '"a": {"cardinality": 1000, "columns": {"x": {"distinct": 100}}},'
+            '"b": {"cardinality": 2000, "columns": {"x": {"distinct": 200}}}'
+            "}}"
+        )
+        code = main(
+            [
+                "sql",
+                "SELECT * FROM a, b WHERE a.x = b.x",
+                "--catalog",
+                str(catalog),
+                "--resilient",
+            ]
+        )
+        assert code == 0
+        assert "plan cost" in capsys.readouterr().out

@@ -60,3 +60,82 @@ class TestBudget:
         budget.charge(1e18)
         assert not budget.exhausted
         assert budget.remaining == math.inf
+
+
+class TestBudgetEdgeCases:
+    """Exact-at-limit semantics and the resilience carve."""
+
+    def test_charge_landing_exactly_on_limit_succeeds(self):
+        budget = Budget(limit=10)
+        budget.charge(10)  # spent + units == limit is affordable
+        assert budget.spent == 10
+        assert budget.exhausted
+        assert budget.remaining == 0
+
+    def test_next_charge_after_exact_exhaustion_raises(self):
+        budget = Budget(limit=10)
+        budget.charge(10)
+        with pytest.raises(BudgetExhausted):
+            budget.charge(1e-9)
+        assert budget.spent == 10  # pinned, not overshot
+
+    def test_can_afford_at_exact_boundary(self):
+        budget = Budget(limit=10)
+        budget.charge(4)
+        assert budget.can_afford(6)
+        assert not budget.can_afford(6.0000001)
+
+    def test_carve_is_a_fraction_of_the_original_limit(self):
+        budget = Budget(limit=100)
+        budget.charge(90)  # nearly drained
+        carved = budget.carve(0.25)
+        assert carved.limit == 25  # original limit, not remaining
+        assert carved.spent == 0
+        # Spending the carve does not touch the parent.
+        carved.charge(10)
+        assert budget.spent == 90
+
+    def test_carve_has_a_floor_of_one_unit(self):
+        assert Budget(limit=2).carve(0.1).limit == 1.0
+
+    def test_carve_rejects_nonpositive_fraction(self):
+        with pytest.raises(ValueError):
+            Budget(limit=10).carve(0)
+
+
+class TestWallClockBudgetWithStalls:
+    """Wall-clock expiry driven by a deterministic stalling clock."""
+
+    def test_stall_exhausts_budget_between_charges(self):
+        from repro.core.budget import WallClockBudget
+        from repro.robustness import StallingClock
+
+        clock = StallingClock(tick=0.1, jumps={4: 30.0})
+        budget = WallClockBudget(seconds=5.0, clock=clock)  # clock call 1
+        budget.charge(1.0)  # call 2: 0.2s elapsed
+        budget.charge(1.0)  # call 3: 0.3s elapsed
+        with pytest.raises(BudgetExhausted, match="wall-clock"):
+            budget.charge(1.0)  # call 4 stalls 30s
+        assert budget.spent == 2.0  # work units still only count real work
+
+    def test_remaining_is_seconds_not_units(self):
+        from repro.core.budget import WallClockBudget
+        from repro.robustness import StallingClock
+
+        clock = StallingClock(tick=1.0)
+        budget = WallClockBudget(seconds=10.0, clock=clock)  # clock call 1
+        budget.charge(100.0)  # huge unit charge is fine; only time matters
+        # Reading ``remaining`` is clock call 3: 2s elapsed since the start.
+        assert budget.remaining == pytest.approx(8.0)
+
+    def test_carve_shares_the_injected_clock(self):
+        from repro.core.budget import WallClockBudget
+        from repro.robustness import StallingClock
+
+        clock = StallingClock(tick=1.0)
+        budget = WallClockBudget(seconds=40.0, clock=clock)
+        carved = budget.carve(0.1)  # 4 seconds, starting now
+        with pytest.raises(BudgetExhausted):
+            for _ in range(100):
+                carved.charge(1.0)
+        assert not budget.exhausted  # parent has plenty of time left

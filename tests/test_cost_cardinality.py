@@ -126,3 +126,73 @@ class TestDistinctPropagation:
         steps = walk_plan(order, cycle)
         # Final join of the cycle closes two predicates (to 2 and to 0).
         assert len(steps[-1].predicates) == 2
+
+
+class TestOverflowGuards:
+    """Pathological statistics must clamp or raise, never return inf/NaN."""
+
+    def test_clamp_passes_normal_values(self):
+        from repro.cost.cardinality import clamp_cardinality
+
+        assert clamp_cardinality(1234.5) == 1234.5
+
+    def test_clamp_floors_at_one(self):
+        from repro.cost.cardinality import clamp_cardinality
+
+        assert clamp_cardinality(0.25) == 1.0
+        assert clamp_cardinality(-7.0) == 1.0
+
+    def test_clamp_caps_huge_estimates(self):
+        from repro.cost.cardinality import MAX_CARDINALITY, clamp_cardinality
+
+        assert clamp_cardinality(1e300) == MAX_CARDINALITY
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), -float("inf")])
+    def test_clamp_rejects_non_finite(self, bad):
+        from repro.cost.cardinality import CostOverflowError, clamp_cardinality
+
+        with pytest.raises(CostOverflowError):
+            clamp_cardinality(bad)
+
+    def test_huge_n_star_of_huge_relations_stays_finite(self):
+        # 24 relations of 1e40 rows joined on key-free predicates: the raw
+        # product is 1e960, far past float range.  Every prefix must stay
+        # finite and capped.
+        import math
+
+        from repro.cost.cardinality import MAX_CARDINALITY
+        from repro.cost.memory import MainMemoryCostModel
+
+        n = 24
+        relations = [Relation(f"R{i}", 1e40) for i in range(n)]
+        predicates = [JoinPredicate(0, i, 2.0, 2.0) for i in range(1, n)]
+        graph = JoinGraph(relations, predicates)
+        order = JoinOrder(range(n))
+        sizes = prefix_cardinalities(order, graph)
+        assert all(math.isfinite(s) for s in sizes)
+        assert all(1.0 <= s <= MAX_CARDINALITY for s in sizes)
+        assert math.isfinite(MainMemoryCostModel().plan_cost(order, graph))
+
+    def test_selectivity_above_one_is_clamped(self):
+        # Fractional distinct counts would make 1/max(d_l, d_r) exceed 1.0
+        # (a result larger than the cross product) without the clamp.
+        predicate = JoinPredicate(0, 1, left_distinct=0.5, right_distinct=0.25)
+        assert predicate.selectivity == 1.0
+
+    def test_nonpositive_selectivity_sources_are_rejected(self):
+        with pytest.raises(ValueError):
+            JoinPredicate(0, 1, left_distinct=0.0, right_distinct=10.0)
+        with pytest.raises(ValueError):
+            JoinPredicate(0, 1, left_distinct=-5.0, right_distinct=10.0)
+
+    def test_broken_model_cannot_return_non_finite_plan_cost(self, chain):
+        from repro.cost.base import CostModel, CostOverflowError
+
+        class SquaringModel(CostModel):
+            name = "squaring"
+
+            def join_cost(self, outer_size, inner_size, result_size):
+                return 1e308 * outer_size * inner_size  # overflows to inf
+
+        with pytest.raises(CostOverflowError, match="non-finite"):
+            SquaringModel().plan_cost(JoinOrder(range(5)), chain_graph())

@@ -53,6 +53,7 @@ class TestSpearman:
         with pytest.raises(ValueError):
             spearman_rank_correlation([1.0], [1.0, 2.0])
 
+    @pytest.mark.slow  # the scipy import alone dominates the quick loop
     def test_matches_scipy_when_available(self):
         scipy_stats = pytest.importorskip("scipy.stats")
         a = [3.0, 1.0, 4.0, 1.5, 5.0, 9.0]

@@ -90,8 +90,6 @@ class TestSqlCommand:
         )
         assert "hash join" in capsys.readouterr().out
 
-    def test_parse_error_surfaces(self, catalog_path):
-        from repro.frontend.sql import ParseError
-
-        with pytest.raises(ParseError):
-            main(["sql", "NOT SQL AT ALL", "--catalog", catalog_path])
+    def test_parse_error_exits_with_usage_code(self, catalog_path, capsys):
+        assert main(["sql", "NOT SQL AT ALL", "--catalog", catalog_path]) == 2
+        assert "expected SELECT" in capsys.readouterr().err

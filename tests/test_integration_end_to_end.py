@@ -25,6 +25,7 @@ def query():
 
 
 class TestOptimizeThenExecute:
+    @pytest.mark.slow
     def test_optimized_plan_executes(self, query):
         result = optimize(query, method="IAI", time_factor=2, units_per_n2=10, seed=0)
         tables = generate_database(query.graph, seed=9, max_rows=300)
@@ -32,6 +33,7 @@ class TestOptimizeThenExecute:
         assert execution.n_rows >= 0
         assert len(execution.intermediate_sizes) == query.n_joins
 
+    @pytest.mark.slow
     def test_optimized_beats_pessimal_in_measured_work(self, query):
         """The optimizer's plan produces less measured intermediate volume
         than the worst augmentation start (sanity of the whole chain)."""
