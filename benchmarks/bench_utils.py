@@ -3,11 +3,22 @@
 Each benchmark regenerates one of the paper's tables or figures at a
 reduced-but-shape-preserving scale, prints the same rows/series the paper
 reports, and writes the rendering to ``benchmarks/results/`` so the output
-survives pytest's capture.
+survives pytest's capture.  Machine-readable series go through
+:func:`write_bench_json` into ``benchmarks/results/BENCH_<name>.json`` so
+successive PRs can diff them.
+
+Run directly, this module is the perf smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_utils.py --smoke [--json]
+
+which times full vs. incremental vs. incremental+pruning evaluation on a
+small query and (with ``--json``) writes ``BENCH_incremental_smoke.json``.
 """
 
 from __future__ import annotations
 
+import json
+import time
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
@@ -43,3 +54,151 @@ def save_and_print(name: str, text: str) -> Path:
 def format_paper_reference(rows: list[str]) -> str:
     """Format the paper's published numbers for side-by-side reading."""
     return "\n".join(["Paper reference:"] + [f"  {row}" for row in rows])
+
+
+def write_bench_json(name: str, payload: dict) -> Path:
+    """Persist a machine-readable benchmark series as ``BENCH_<name>.json``.
+
+    Stable key order and indentation keep the files diffable across PRs.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
+
+
+def measure_incremental(
+    n_joins: int, n_moves: int, seed: int = 2026
+) -> dict:
+    """Time full vs. incremental vs. incremental+pruning plan costing.
+
+    Replays one identical seeded random-move walk in all three modes, so
+    the per-mode evaluations/sec figures compare the same work:
+
+    * ``full`` — ``model.plan_cost`` per candidate (the reference oracle);
+    * ``incremental`` — prefix-cached suffix recosting, no bound;
+    * ``pruned`` — prefix caching plus an upper bound at the incumbent's
+      cost, the bound iterative improvement uses.
+
+    Returns a dict ready for :func:`write_bench_json`, including the
+    ``speedup`` of each incremental mode over full re-costing.
+    """
+    import random
+
+    from repro.cost.incremental import IncrementalEvaluator
+    from repro.cost.memory import MainMemoryCostModel
+    from repro.core.moves import MoveSet
+    from repro.plans.validity import random_valid_order
+    from repro.workloads.benchmarks import DEFAULT_SPEC
+    from repro.workloads.generator import generate_query
+
+    graph = generate_query(DEFAULT_SPEC, n_joins=n_joins, seed=seed).graph
+    model = MainMemoryCostModel()
+    move_set = MoveSet()
+
+    # Pre-generate one greedy walk (accept improvements, like II) so every
+    # mode replays identical (current, candidate, first_changed) triples.
+    rng = random.Random(seed)
+    current = random_valid_order(graph, rng)
+    steps = []  # (current, candidate, first_changed, incumbent_cost)
+    cost = model.plan_cost(current, graph)
+    for _ in range(n_moves):
+        move, candidate = move_set.random_valid_move(current, graph, rng)
+        steps.append((current, candidate, move.first_changed, cost))
+        candidate_cost = model.plan_cost(candidate, graph)
+        if candidate_cost < cost:
+            current, cost = candidate, candidate_cost
+
+    def time_full() -> tuple[float, int]:
+        t0 = time.perf_counter()
+        for _, candidate, _, _ in steps:
+            model.plan_cost(candidate, graph)
+        return time.perf_counter() - t0, len(steps) * graph.n_joins
+
+    def time_engine(pruned: bool) -> tuple[float, int]:
+        engine = IncrementalEvaluator(graph, model)
+        joins = 0
+        t0 = time.perf_counter()
+        for current, candidate, first_changed, incumbent in steps:
+            engine.prime(current.positions)
+            bound = incumbent if pruned else None
+            _, walked = engine.evaluate(candidate.positions, bound, first_changed)
+            joins += walked
+        return time.perf_counter() - t0, joins
+
+    modes = {}
+    full_seconds, full_joins = time_full()
+    for mode, (seconds, joins) in (
+        ("full", (full_seconds, full_joins)),
+        ("incremental", time_engine(pruned=False)),
+        ("pruned", time_engine(pruned=True)),
+    ):
+        evals_per_sec = len(steps) / seconds if seconds > 0 else float("inf")
+        modes[mode] = {
+            "seconds": round(seconds, 6),
+            "evaluations": len(steps),
+            "joins_walked": joins,
+            "evaluations_per_sec": round(evals_per_sec, 1),
+            "speedup_vs_full": round(full_seconds / seconds, 3)
+            if seconds > 0
+            else float("inf"),
+        }
+    return {
+        "n_joins": n_joins,
+        "n_moves": n_moves,
+        "seed": seed,
+        "modes": modes,
+    }
+
+
+def _smoke_main(argv: list[str] | None = None) -> int:
+    """The perf smoke check: a reduced incremental microbench run."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the incremental evaluation engine."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced incremental microbench (the only mode)",
+    )
+    parser.add_argument(
+        "--n-joins", type=int, default=30, help="query size (default 30)"
+    )
+    parser.add_argument(
+        "--moves", type=int, default=300, help="moves to replay (default 300)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_incremental_smoke.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+    result = measure_incremental(args.n_joins, args.moves)
+    for mode, stats in result["modes"].items():
+        print(
+            f"{mode:>11}: {stats['evaluations_per_sec']:>10.1f} evals/s "
+            f"({stats['joins_walked']} joins walked, "
+            f"{stats['speedup_vs_full']:.2f}x vs full)"
+        )
+    if args.json:
+        path = write_bench_json("incremental_smoke", result)
+        print(f"wrote {path}")
+    speedup = result["modes"]["pruned"]["speedup_vs_full"]
+    if speedup < 1.0:
+        print(f"SMOKE FAIL: pruned mode slower than full ({speedup:.2f}x)")
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    raise SystemExit(_smoke_main())

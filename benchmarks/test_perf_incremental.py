@@ -1,0 +1,73 @@
+"""Microbench: full vs. incremental vs. incremental+pruning evaluation.
+
+The repo's first benchmark trajectory point: every run writes
+``results/BENCH_incremental.json`` with evaluations/sec and speedup per
+query size, so subsequent PRs can diff the machine-readable series.  One
+seeded greedy walk is replayed identically in all three modes (see
+:func:`bench_utils.measure_incremental`), making the comparison pure
+engine overhead, not workload variance.
+
+The asserted floor mirrors the engine's acceptance criterion: at
+``N = 100``, prefix caching with bound pruning — the combination the
+search layer actually deploys in iterative improvement — must deliver at
+least 3x the evaluations/sec of full re-costing.
+"""
+
+import pytest
+
+from bench_utils import measure_incremental, save_and_print, write_bench_json
+
+#: (n_joins, replayed moves): enough moves to dwarf setup/JIT noise while
+#: keeping the whole bench in seconds.
+SIZES = ((20, 600), (50, 500), (100, 400))
+
+#: Acceptance floor at the largest size (see ISSUE 2) for the engine as
+#: the search layer deploys it — prefix caching *with* bound pruning, the
+#: combination iterative improvement always uses.
+MIN_PRUNED_SPEEDUP_AT_100 = 3.0
+
+#: Regression floor for prefix caching alone (no bound): a random move's
+#: first changed position averages ~N/3, so pure prefix reuse buys a
+#: smaller constant factor.
+MIN_INCREMENTAL_SPEEDUP_AT_100 = 1.3
+
+
+@pytest.mark.slow
+def test_incremental_throughput():
+    results = {"benchmark": "incremental-evaluation", "sizes": []}
+    lines = [
+        "Incremental evaluation throughput (evals/sec, speedup vs full):",
+        f"{'N':>5} {'full':>12} {'incremental':>16} {'pruned':>16}",
+    ]
+    for n_joins, n_moves in SIZES:
+        point = measure_incremental(n_joins, n_moves)
+        results["sizes"].append(point)
+        modes = point["modes"]
+        lines.append(
+            f"{n_joins:>5} {modes['full']['evaluations_per_sec']:>12.0f} "
+            f"{modes['incremental']['evaluations_per_sec']:>10.0f} "
+            f"({modes['incremental']['speedup_vs_full']:>4.2f}x) "
+            f"{modes['pruned']['evaluations_per_sec']:>10.0f} "
+            f"({modes['pruned']['speedup_vs_full']:>4.2f}x)"
+        )
+    path = write_bench_json("incremental", results)
+    lines.append(f"machine-readable series: {path.name}")
+    save_and_print("incremental_throughput", "\n".join(lines))
+
+    largest = results["sizes"][-1]
+    assert largest["n_joins"] == 100
+    for mode, floor in (
+        ("pruned", MIN_PRUNED_SPEEDUP_AT_100),
+        ("incremental", MIN_INCREMENTAL_SPEEDUP_AT_100),
+    ):
+        speedup = largest["modes"][mode]["speedup_vs_full"]
+        assert speedup >= floor, (
+            f"{mode} evaluation only {speedup:.2f}x over full re-costing "
+            f"at N=100; the engine promises >= {floor}x"
+        )
+    # Pruning walks strictly fewer joins than unbounded incremental
+    # evaluation on any walk that rejects candidates at all.
+    assert (
+        largest["modes"]["pruned"]["joins_walked"]
+        <= largest["modes"]["incremental"]["joins_walked"]
+    )

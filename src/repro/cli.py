@@ -37,6 +37,7 @@ from typing import Sequence
 from repro.core.budget import DEFAULT_UNITS_PER_N2
 from repro.core.combinations import PAPER_METHODS, available_method_names, make_strategy
 from repro.core.optimizer import optimize
+from repro.core.state import PER_JOIN, PER_PLAN
 from repro.cost.disk import DiskCostModel
 from repro.cost.memory import MainMemoryCostModel
 from repro.experiments import figures as figures_module
@@ -81,6 +82,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--time-factor", type=float, default=9.0, help="time limit factor k in kN^2"
     )
 
+    evaluation = argparse.ArgumentParser(add_help=False)
+    evaluation.add_argument(
+        "--no-incremental",
+        dest="incremental",
+        action="store_false",
+        help="price every candidate with a full plan-cost walk instead of "
+        "the prefix-cached incremental engine (see docs/performance.md)",
+    )
+    evaluation.add_argument(
+        "--budget-accounting",
+        choices=(PER_PLAN, PER_JOIN),
+        default=PER_PLAN,
+        help="work-unit pricing: 'per-plan' charges N joins per candidate "
+        "(paper-compatible default); 'per-join' charges only joins "
+        "actually evaluated",
+    )
+
     resilience = argparse.ArgumentParser(add_help=False)
     resilience.add_argument(
         "--resilient",
@@ -96,12 +114,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     cmd = sub.add_parser(
-        "optimize", parents=[common, resilience], help="optimize one query"
+        "optimize",
+        parents=[common, evaluation, resilience],
+        help="optimize one query",
     )
     cmd.add_argument("--method", default="IAI", help="optimization method")
     cmd.add_argument("--explain", action="store_true", help="print the join tree")
 
-    cmd = sub.add_parser("compare", parents=[common], help="compare methods")
+    cmd = sub.add_parser(
+        "compare", parents=[common, evaluation], help="compare methods"
+    )
     cmd.add_argument(
         "--methods",
         nargs="+",
@@ -134,7 +156,9 @@ def _build_parser() -> argparse.ArgumentParser:
     )
 
     cmd = sub.add_parser(
-        "sql", parents=[resilience], help="optimize a SQL query against a catalog"
+        "sql",
+        parents=[evaluation, resilience],
+        help="optimize a SQL query against a catalog",
     )
     cmd.add_argument("query", help="SQL text (quote the whole query)")
     cmd.add_argument(
@@ -174,6 +198,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         seed=args.seed,
         resilient=args.resilient,
         max_retries=args.max_retries,
+        incremental=args.incremental,
+        budget_accounting=args.budget_accounting,
     )
     print(f"query          : {query.name} (N={query.n_joins})")
     print(f"method         : {result.method}")
@@ -201,6 +227,8 @@ def _cmd_compare(args: argparse.Namespace) -> int:
             model=model,
             time_factor=args.time_factor,
             seed=args.seed,
+            incremental=args.incremental,
+            budget_accounting=args.budget_accounting,
         )
     best = min(result.cost for result in results.values())
     ranked = sorted(results.items(), key=lambda kv: kv[1].cost)
@@ -309,6 +337,8 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         seed=args.seed,
         resilient=args.resilient,
         max_retries=args.max_retries,
+        incremental=args.incremental,
+        budget_accounting=args.budget_accounting,
     )
     print(f"relations : {query.graph.n_relations}  joins: {query.n_joins}")
     print(f"method    : {result.method}")

@@ -13,8 +13,15 @@
 """
 
 from repro.core.budget import Budget, BudgetExhausted, WallClockBudget
-from repro.core.moves import MoveSet
-from repro.core.state import Evaluation, Evaluator, TargetReached
+from repro.core.moves import Move, MoveSet, NoValidMove
+from repro.core.state import (
+    DeltaEvaluator,
+    Evaluation,
+    Evaluator,
+    PER_JOIN,
+    PER_PLAN,
+    TargetReached,
+)
 from repro.core.augmentation import AugmentationCriterion
 from repro.core.dynamic_programming import DPResult, dp_optimal_order
 from repro.core.bushy_search import bushy_iterative_improvement
@@ -25,9 +32,14 @@ __all__ = [
     "BudgetExhausted",
     "WallClockBudget",
     "TargetReached",
+    "Move",
     "MoveSet",
+    "NoValidMove",
     "Evaluation",
     "Evaluator",
+    "DeltaEvaluator",
+    "PER_PLAN",
+    "PER_JOIN",
     "AugmentationCriterion",
     "DPResult",
     "dp_optimal_order",

@@ -94,10 +94,19 @@ def initial_temperature(
     uphill: list[float] = []
     for _ in range(sample_size):
         try:
-            neighbor = move_set.random_neighbor(start, evaluator.graph, rng)
+            move, neighbor = move_set.random_valid_move(
+                start, evaluator.graph, rng
+            )
         except NoValidMove:
             break
-        delta = evaluator.evaluate(neighbor) - start_cost
+        # Candidates share the start's prefix; none is committed, so the
+        # anchor stays on the start state for the whole sample.
+        delta = (
+            evaluator.evaluate_candidate(
+                neighbor, first_changed=move.first_changed
+            )
+            - start_cost
+        )
         if delta > 0:
             uphill.append(delta)
     if uphill:
@@ -114,6 +123,7 @@ def simulated_annealing(
     rng: random.Random,
     schedule: AnnealingSchedule | None = None,
     observer: Callable[[ChainStats], None] | None = None,
+    bound_pruning: bool = False,
 ) -> Evaluation:
     """Anneal from ``start``; return the best state visited.
 
@@ -121,6 +131,15 @@ def simulated_annealing(
     to that point has been recorded by the evaluator.  ``observer``, when
     given, receives a :class:`ChainStats` after each completed chain —
     used by diagnostics to watch the cooling and acceptance behaviour.
+
+    ``bound_pruning`` reorders the acceptance test so candidates can be
+    abandoned mid-costing: the uniform draw happens *before* the
+    evaluation, turning Metropolis acceptance ``u < exp(-delta / T)`` into
+    the equivalent threshold test ``cost < current - T·ln(u)``, and that
+    threshold becomes the evaluator's upper bound.  The decisions are the
+    same for the same draw, but classic annealing draws only on uphill
+    moves — so the rng stream differs and seeded runs diverge from the
+    default mode.  Off by default for exactly that reason.
     """
     if schedule is None:
         schedule = AnnealingSchedule()
@@ -139,12 +158,37 @@ def simulated_annealing(
             accepted = 0
             for _ in range(chain_length):
                 try:
-                    neighbor = move_set.random_neighbor(current, graph, rng)
+                    move, neighbor = move_set.random_valid_move(
+                        current, graph, rng
+                    )
                 except NoValidMove:
                     return best
-                neighbor_cost = evaluator.evaluate(neighbor)
-                delta = neighbor_cost - current_cost
-                if delta <= 0 or rng.random() < math.exp(-delta / temperature):
+                if bound_pruning:
+                    draw = rng.random()
+                    threshold = (
+                        current_cost - temperature * math.log(draw)
+                        if draw > 0.0
+                        else math.inf
+                    )
+                    neighbor_cost = evaluator.evaluate_candidate(
+                        neighbor,
+                        upper_bound=threshold,
+                        first_changed=move.first_changed,
+                    )
+                    accept = neighbor_cost is not None and (
+                        neighbor_cost <= current_cost
+                        or neighbor_cost < threshold
+                    )
+                else:
+                    neighbor_cost = evaluator.evaluate_candidate(
+                        neighbor, first_changed=move.first_changed
+                    )
+                    delta = neighbor_cost - current_cost
+                    accept = delta <= 0 or rng.random() < math.exp(
+                        -delta / temperature
+                    )
+                if accept:
+                    evaluator.commit_candidate(neighbor)
                     current, current_cost = neighbor, neighbor_cost
                     accepted += 1
                     if current_cost < best.cost:

@@ -56,7 +56,14 @@ from repro.plans.validity import random_valid_order
 
 @dataclass(frozen=True)
 class MethodParams:
-    """Shared tunables threaded into every strategy."""
+    """Shared tunables threaded into every strategy.
+
+    ``sa_bound_pruning`` enables simulated annealing's draw-first
+    acceptance (see :func:`repro.core.annealing.simulated_annealing`),
+    which lets the delta evaluator abandon candidates mid-costing at the
+    price of a different rng stream than the classic formulation — off by
+    default so seeded runs stay reproducible against historical results.
+    """
 
     move_set: MoveSet = field(default_factory=MoveSet)
     patience: int | None = None
@@ -64,6 +71,7 @@ class MethodParams:
     augmentation_criterion: AugmentationCriterion = DEFAULT_CRITERION
     kbz_weight: AugmentationCriterion = DEFAULT_WEIGHT
     local_improvement_max_passes: int | None = None
+    sa_bound_pruning: bool = False
 
     def with_overrides(self, **overrides) -> "MethodParams":
         return replace(self, **overrides)
@@ -141,12 +149,18 @@ class PerturbationWalkStrategy(Strategy):
             evaluator.evaluate(current)
             while True:
                 try:
-                    current = params.move_set.random_neighbor(
+                    move, neighbor = params.move_set.random_valid_move(
                         current, evaluator.graph, rng
                     )
                 except NoValidMove:
                     current = random_valid_order(evaluator.graph, rng)
-                evaluator.evaluate(current)
+                    evaluator.evaluate(current)
+                    continue
+                evaluator.evaluate_candidate(
+                    neighbor, first_changed=move.first_changed
+                )
+                evaluator.commit_candidate(neighbor)
+                current = neighbor
         except BudgetExhausted:
             pass
 
@@ -162,7 +176,12 @@ class SimulatedAnnealingStrategy(Strategy):
         try:
             for start in self._starts(evaluator, rng, params):
                 simulated_annealing(
-                    start, evaluator, params.move_set, rng, params.schedule
+                    start,
+                    evaluator,
+                    params.move_set,
+                    rng,
+                    params.schedule,
+                    bound_pruning=params.sa_bound_pruning,
                 )
                 if evaluator.budget.exhausted:
                     break
@@ -233,7 +252,12 @@ class TwoPhaseStrategy(Strategy):
         schedule = replace(params.schedule, initial_acceptance=0.05)
         try:
             simulated_annealing(
-                best.order, evaluator, params.move_set, rng, schedule
+                best.order,
+                evaluator,
+                params.move_set,
+                rng,
+                schedule,
+                bound_pruning=params.sa_bound_pruning,
             )
         except BudgetExhausted:
             pass

@@ -47,17 +47,29 @@ def improvement_run(
     if patience is None:
         patience = default_patience(evaluator.graph.n_relations)
     current = start
-    current_cost = (
-        evaluator.evaluate(start) if start_cost is None else start_cost
-    )
+    if start_cost is None:
+        current_cost = evaluator.evaluate(start)
+    else:
+        current_cost = start_cost
+        evaluator.prime(start)
     failures = 0
     while failures < patience:
         try:
-            neighbor = move_set.random_neighbor(current, evaluator.graph, rng)
+            move, neighbor = move_set.random_valid_move(
+                current, evaluator.graph, rng
+            )
         except NoValidMove:
             break
-        neighbor_cost = evaluator.evaluate(neighbor)
-        if neighbor_cost < current_cost:
+        # The incumbent's cost is the bound: any candidate whose running
+        # total exceeds it would be rejected anyway, so its suffix walk
+        # can stop early (``None`` means exactly that).
+        neighbor_cost = evaluator.evaluate_candidate(
+            neighbor,
+            upper_bound=current_cost,
+            first_changed=move.first_changed,
+        )
+        if neighbor_cost is not None and neighbor_cost < current_cost:
+            evaluator.commit_candidate(neighbor)
             current, current_cost = neighbor, neighbor_cost
             failures = 0
         else:

@@ -96,6 +96,11 @@ def improve_pass(
         window_size = min(cluster_size, n - position)
         if window_size < 2:
             break
+        # All candidates in this window share the prefix before it; prime
+        # the delta evaluator's anchor on the current order so each
+        # permutation re-costs only from ``position`` onward, bounded by
+        # the best cost seen in the window.
+        evaluator.prime(current.order)
         window = current.order.positions[position : position + window_size]
         best_in_window = current
         for candidate_window in permutations(window):
@@ -104,8 +109,12 @@ def improve_pass(
             candidate = current.order.replace_segment(position, candidate_window)
             if not is_valid_order(candidate, graph):
                 continue
-            cost = evaluator.evaluate(candidate)
-            if cost < best_in_window.cost:
+            cost = evaluator.evaluate_candidate(
+                candidate,
+                upper_bound=best_in_window.cost,
+                first_changed=position,
+            )
+            if cost is not None and cost < best_in_window.cost:
                 best_in_window = Evaluation(candidate, cost)
         current = best_in_window
         position += step

@@ -18,6 +18,7 @@ valid space is a single order).
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Iterator
 
 from repro.catalog.join_graph import JoinGraph
@@ -28,6 +29,44 @@ from repro.utils.validation import check_probability
 
 class NoValidMove(Exception):
     """No valid neighbor could be generated within the retry limit."""
+
+
+@dataclass(frozen=True)
+class Move:
+    """One structured perturbation: ``kind`` is ``"swap"`` or ``"insert"``.
+
+    For swaps, ``i`` and ``j`` are the exchanged positions; for inserts,
+    ``i`` is the source position and ``j`` the target.  Keeping the move
+    structured (rather than only its resulting order) lets the search
+    loops tell the delta evaluator where the order first changed, so only
+    the suffix from that position is re-costed.
+    """
+
+    kind: str
+    i: int
+    j: int
+
+    @property
+    def first_changed(self) -> int:
+        """First order position the move changes (prefix before it is intact)."""
+        return self.i if self.i < self.j else self.j
+
+    def apply(self, order: JoinOrder) -> JoinOrder:
+        """The neighbor this move produces from ``order``."""
+        if self.kind == "swap":
+            return order.swap(self.i, self.j)
+        return order.insert(self.i, self.j)
+
+    def __str__(self) -> str:
+        return f"{self.kind}({self.i},{self.j})"
+
+
+def _format_moves(moves: list[Move], limit: int = 16) -> str:
+    """Compact listing of rejected moves for :class:`NoValidMove` messages."""
+    shown = ", ".join(str(move) for move in moves[:limit])
+    if len(moves) > limit:
+        shown += f", ... ({len(moves) - limit} more)"
+    return shown
 
 
 class MoveSet:
@@ -46,19 +85,62 @@ class MoveSet:
             raise ValueError(f"max_tries must be >= 1, got {max_tries}")
         self.max_tries = max_tries
 
-    def propose(self, order: JoinOrder, rng: random.Random) -> JoinOrder:
-        """One random perturbation, not yet validity-checked."""
+    def propose_move(self, order: JoinOrder, rng: random.Random) -> Move:
+        """One random perturbation as a structured :class:`Move`.
+
+        Draws from ``rng`` in exactly the sequence the original
+        order-returning :meth:`propose` used, so historical seeds keep
+        producing the same walks.
+        """
         n = len(order)
         if n < 2:
             raise NoValidMove("orders of length < 2 have no neighbors")
         if rng.random() < self.swap_probability:
             i, j = rng.sample(range(n), 2)
-            return order.swap(i, j)
+            return Move("swap", i, j)
         source = rng.randrange(n)
         target = rng.randrange(n - 1)
         if target >= source:
             target += 1
-        return order.insert(source, target)
+        return Move("insert", source, target)
+
+    def propose(self, order: JoinOrder, rng: random.Random) -> JoinOrder:
+        """One random perturbation, not yet validity-checked."""
+        return self.propose_move(order, rng).apply(order)
+
+    def random_valid_move(
+        self, order: JoinOrder, graph: JoinGraph, rng: random.Random
+    ) -> tuple[Move, JoinOrder]:
+        """A random move whose result is a *valid* neighbor of ``order``.
+
+        Returns the move together with the neighbor it produces.  Invalid
+        proposals are retried up to ``max_tries`` times; after a first
+        burst of failures a deterministic ``has_any_valid_neighbor`` scan
+        decides whether retrying can succeed at all, so degenerate graphs
+        whose valid space is a single order fail fast instead of burning
+        the full retry allowance.  The :class:`NoValidMove` message lists
+        the rejected moves, making the degenerate neighborhood diagnosable.
+        """
+        rejected: list[Move] = []
+        fail_fast_after = min(8, self.max_tries)
+        for attempt in range(1, self.max_tries + 1):
+            move = self.propose_move(order, rng)
+            candidate = move.apply(order)
+            if candidate != order and is_valid_order(candidate, graph):
+                return move, candidate
+            rejected.append(move)
+            if attempt == fail_fast_after and not self.has_any_valid_neighbor(
+                order, graph
+            ):
+                raise NoValidMove(
+                    f"order {order} has no valid neighbor (confirmed by "
+                    f"exhaustive scan after {attempt} failed draws; "
+                    f"rejected: {_format_moves(rejected)})"
+                )
+        raise NoValidMove(
+            f"no valid neighbor found in {self.max_tries} tries; "
+            f"rejected: {_format_moves(rejected)}"
+        )
 
     def random_neighbor(
         self, order: JoinOrder, graph: JoinGraph, rng: random.Random
@@ -67,13 +149,17 @@ class MoveSet:
 
         Retries invalid proposals up to ``max_tries`` times.
         """
-        for _ in range(self.max_tries):
-            candidate = self.propose(order, rng)
-            if candidate != order and is_valid_order(candidate, graph):
-                return candidate
-        raise NoValidMove(
-            f"no valid neighbor found in {self.max_tries} tries"
-        )
+        _, candidate = self.random_valid_move(order, graph, rng)
+        return candidate
+
+    def has_any_valid_neighbor(self, order: JoinOrder, graph: JoinGraph) -> bool:
+        """Whether any valid neighbor exists (deterministic, no rng draws).
+
+        Stops at the first valid neighbor found, so on healthy graphs this
+        is one or two validity checks; only truly degenerate orders pay
+        for a full scan.
+        """
+        return next(self.neighbors(order, graph), None) is not None
 
     def neighbors(self, order: JoinOrder, graph: JoinGraph) -> Iterator[JoinOrder]:
         """Every distinct valid neighbor (exhaustive — tests only)."""

@@ -23,7 +23,7 @@ from repro.core.combinations import (
     available_method_names,
     make_strategy,
 )
-from repro.core.state import Evaluator, TargetReached
+from repro.core.state import DeltaEvaluator, Evaluator, PER_PLAN, TargetReached
 from repro.cost.base import CostModel
 from repro.cost.bounds import lower_bound
 from repro.cost.cardinality import prefix_cardinalities
@@ -85,6 +85,8 @@ def _optimize_connected(
     seed: int,
     params: MethodParams,
     target_cost: float | None = None,
+    incremental: bool = True,
+    budget_accounting: str = PER_PLAN,
 ) -> Evaluator:
     """Run one strategy on a connected graph; returns its evaluator."""
     strategy = make_strategy(method)
@@ -93,7 +95,19 @@ def _optimize_connected(
     # key on their registered name.
     rng_key = method if isinstance(method, str) else strategy.name
     rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)
-    evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
+    if incremental and DeltaEvaluator.supports(model):
+        evaluator: Evaluator = DeltaEvaluator(
+            graph,
+            model,
+            budget,
+            target_cost=target_cost,
+            charge_mode=budget_accounting,
+        )
+    else:
+        # Models that override plan_cost (static heuristics, fault
+        # injectors) define their own plan semantics; they keep the full
+        # reference evaluator.
+        evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
     if graph.n_relations == 1:
         evaluator.best = None
         return evaluator
@@ -117,6 +131,8 @@ def optimize(
     bound_tolerance: float = 1.05,
     resilient: bool = False,
     max_retries: int = 2,
+    incremental: bool = True,
+    budget_accounting: str = PER_PLAN,
 ) -> OptimizationResult:
     """Optimize a join query with one of the paper's methods.
 
@@ -147,6 +163,19 @@ def optimize(
         propagating; see :mod:`repro.robustness.resilience`.  The result's
         ``degraded``/``failures`` fields record what happened.
         ``max_retries`` bounds the rotated-seed retries per stage.
+    incremental:
+        Route the search through the prefix-cached delta evaluator
+        (:class:`~repro.core.state.DeltaEvaluator`) when the cost model is
+        eligible — models that override ``plan_cost``, and the resilient
+        path, always use the full reference evaluator.  ``False`` forces
+        full re-costing everywhere (the reference oracle).
+    budget_accounting:
+        ``"per-plan"`` (default) charges ``n_joins`` units per candidate
+        exactly like the full evaluator — the compatibility mode that
+        keeps published paper-reproduction budgets meaningful.
+        ``"per-join"`` charges only the joins the delta evaluator actually
+        walks, so prefix reuse and bound pruning buy more candidates per
+        budget.  Ignored when the full evaluator is in effect.
 
     Every returned plan — resilient or not — passes the verification gate
     (:func:`repro.robustness.verify.verify_plan`): the order is a valid
@@ -183,7 +212,15 @@ def optimize(
 
     if graph.is_connected:
         evaluator = _optimize_connected(
-            graph, method, model, budget, seed, params, target_cost
+            graph,
+            method,
+            model,
+            budget,
+            seed,
+            params,
+            target_cost,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
         )
         if evaluator.best is None:
             raise BudgetExhausted(
@@ -200,7 +237,14 @@ def optimize(
         )
     else:
         result = _optimize_disconnected(
-            graph, method, model, budget, seed, params
+            graph,
+            method,
+            model,
+            budget,
+            seed,
+            params,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
         )
     from repro.robustness.verify import verify_or_raise
 
@@ -215,6 +259,8 @@ def _optimize_disconnected(
     budget: Budget,
     seed: int,
     params: MethodParams,
+    incremental: bool = True,
+    budget_accounting: str = PER_PLAN,
 ) -> OptimizationResult:
     """Postpone cross products: per-component search, then concatenation.
 
@@ -243,6 +289,8 @@ def _optimize_disconnected(
             seed=seed,
             budget=share,
             params=params,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
         )
         budget.spent = min(budget.limit, budget.spent + share.spent)
         n_evaluations += result.n_evaluations

@@ -6,6 +6,20 @@ solution seen, and records the *trajectory* of improvements as
 ``(units_spent, best_cost)`` pairs.  The trajectory is what makes one run
 at the largest time limit yield the results for every smaller limit — the
 same trick the paper's sweeps rely on.
+
+Two evaluators share that contract:
+
+* :class:`Evaluator` — the reference oracle: every candidate is priced by
+  a full :meth:`~repro.cost.base.CostModel.plan_cost` walk.
+* :class:`DeltaEvaluator` — the production path: candidates are priced by
+  the prefix-cached :class:`~repro.cost.incremental.IncrementalEvaluator`,
+  with optional bound pruning, and the budget can be charged either per
+  plan (the paper's published accounting) or per join actually evaluated.
+
+The *candidate protocol* (:meth:`Evaluator.evaluate_candidate`,
+:meth:`Evaluator.commit_candidate`, :meth:`Evaluator.prime`) is what the
+search loops call; on the base evaluator it degrades to plain
+``evaluate``, so every strategy runs unchanged on either evaluator.
 """
 
 from __future__ import annotations
@@ -15,9 +29,15 @@ from bisect import bisect_right
 from dataclasses import dataclass
 
 from repro.catalog.join_graph import JoinGraph
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetExhausted
 from repro.cost.base import CostModel
+from repro.cost.incremental import IncrementalEvaluator, supports_incremental
 from repro.plans.join_order import JoinOrder
+
+#: Budget-accounting modes accepted by :class:`DeltaEvaluator`.
+PER_PLAN = "per-plan"
+PER_JOIN = "per-join"
+CHARGE_MODES = (PER_PLAN, PER_JOIN)
 
 
 @dataclass(frozen=True)
@@ -71,6 +91,10 @@ class Evaluator:
         cost = self.model.plan_cost(order, self.graph)
         self.n_evaluations += 1
         self._record(order, cost)
+        self._check_target()
+        return cost
+
+    def _check_target(self) -> None:
         if (
             self.target_cost is not None
             and self.best is not None
@@ -80,7 +104,39 @@ class Evaluator:
                 f"solution cost {self.best.cost:.6g} at or below target "
                 f"{self.target_cost:.6g}"
             )
-        return cost
+
+    def evaluate_candidate(
+        self,
+        order: JoinOrder,
+        upper_bound: float | None = None,
+        first_changed: int | None = None,
+    ) -> float | None:
+        """Price a *candidate* the caller may or may not adopt.
+
+        The reference evaluator ignores both hints and always returns the
+        full cost.  :class:`DeltaEvaluator` overrides this with prefix
+        reuse and bound pruning — ``None`` means the running total
+        exceeded ``upper_bound``, which under a strictly-less-than
+        acceptance test is equivalent to rejection.  ``first_changed`` is
+        the move's first changed position, an advisory cap on prefix
+        sharing.
+        """
+        return self.evaluate(order)
+
+    def commit_candidate(self, order: JoinOrder) -> None:
+        """Tell the evaluator the last candidate was accepted (no-op here).
+
+        :class:`DeltaEvaluator` re-anchors its prefix cache on the
+        accepted order without re-walking it.
+        """
+
+    def prime(self, order: JoinOrder) -> None:
+        """Declare ``order`` the walk's current state (no-op here).
+
+        Unlike ``evaluate``, priming charges nothing and records nothing —
+        it only lets :class:`DeltaEvaluator` anchor its prefix cache when
+        the caller already knows the current state's cost.
+        """
 
     def _record(self, order: JoinOrder, cost: float) -> None:
         if not math.isfinite(cost):
@@ -101,3 +157,132 @@ class Evaluator:
         if index == 0:
             return None
         return self.trajectory[index - 1][1]
+
+
+class DeltaEvaluator(Evaluator):
+    """Evaluator backed by the prefix-cached incremental engine.
+
+    Candidates priced through :meth:`evaluate_candidate` reuse the cost
+    chain of the walk's current order up to the first changed position,
+    and an ``upper_bound`` aborts the suffix walk as soon as the running
+    total exceeds it.  Full (unaborted) evaluations return floats bitwise
+    identical to :meth:`~repro.cost.base.CostModel.plan_cost`, so the base
+    :class:`Evaluator` remains a drop-in reference oracle.
+
+    ``charge_mode`` selects the budget accounting:
+
+    ``"per-plan"`` (default, the compatibility mode)
+        Every evaluation — even a pruned one — charges ``n_joins`` units
+        up front, exactly like the reference evaluator, so published
+        paper-reproduction budgets and their BudgetExhausted points are
+        preserved bit for bit.
+    ``"per-join"``
+        Each evaluation charges the joins actually walked (floored at one
+        unit so repeated evaluations of the anchor still make progress),
+        after the walk.  Prefix reuse and pruning then translate into
+        more candidates per budget, which is the engine's whole point.
+
+    Pruned candidates are never recorded: the effective bound is clamped
+    to at least the best recorded cost (and pruning is disabled until a
+    first solution is recorded), so a pruned candidate provably could not
+    have improved ``best`` — trajectories match the reference oracle's.
+    The one divergence is exceptions: an aborted walk may stop before an
+    overflow the full walk would surface as
+    :class:`~repro.cost.cardinality.CostOverflowError`; the candidate is
+    rejected either way.
+    """
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        model: CostModel,
+        budget: Budget,
+        target_cost: float | None = None,
+        charge_mode: str = PER_PLAN,
+    ) -> None:
+        if charge_mode not in CHARGE_MODES:
+            raise ValueError(
+                f"unknown charge_mode {charge_mode!r}; one of {CHARGE_MODES}"
+            )
+        if not supports_incremental(model):
+            raise ValueError(
+                f"cost model {model!r} overrides plan_cost and cannot be "
+                "evaluated incrementally; use the base Evaluator"
+            )
+        super().__init__(graph, model, budget, target_cost=target_cost)
+        self.charge_mode = charge_mode
+        self.engine = IncrementalEvaluator(graph, model)
+        #: Joins actually walked (full or aborted), across all evaluations.
+        self.n_joins_evaluated = 0
+        #: Candidates whose walk was aborted by the upper bound.
+        self.n_pruned = 0
+
+    supports = staticmethod(supports_incremental)
+
+    def evaluate(self, order: JoinOrder) -> float:
+        """Full evaluation through the engine; re-anchors the prefix cache."""
+        if self.charge_mode == PER_PLAN:
+            self.budget.charge(float(self.graph.n_joins))
+            cost, joins = self.engine.rebase(order.positions)
+        else:
+            self._require_budget()
+            cost, joins = self.engine.rebase(order.positions)
+            self.budget.charge(max(1.0, float(joins)))
+        self.n_joins_evaluated += joins
+        self.n_evaluations += 1
+        self._record(order, cost)
+        self._check_target()
+        return cost
+
+    def evaluate_candidate(
+        self,
+        order: JoinOrder,
+        upper_bound: float | None = None,
+        first_changed: int | None = None,
+    ) -> float | None:
+        if self.charge_mode == PER_PLAN:
+            self.budget.charge(float(self.graph.n_joins))
+            cost, joins = self.engine.evaluate(
+                order.positions, self._safe_bound(upper_bound), first_changed
+            )
+        else:
+            self._require_budget()
+            cost, joins = self.engine.evaluate(
+                order.positions, self._safe_bound(upper_bound), first_changed
+            )
+            self.budget.charge(max(1.0, float(joins)))
+        self.n_joins_evaluated += joins
+        self.n_evaluations += 1
+        if cost is None:
+            self.n_pruned += 1
+        else:
+            self._record(order, cost)
+        self._check_target()
+        return cost
+
+    def commit_candidate(self, order: JoinOrder) -> None:
+        self.engine.commit(order.positions)
+
+    def prime(self, order: JoinOrder) -> None:
+        self.engine.prime(order.positions)
+
+    def _safe_bound(self, upper_bound: float | None) -> float | None:
+        """Clamp the caller's bound so pruning can never affect ``best``.
+
+        A pruned candidate costs strictly more than the effective bound;
+        keeping that bound at or above the best recorded cost (and
+        disabling pruning while nothing is recorded) guarantees the pruned
+        candidate could not have become the new best — the trajectory
+        stays identical to the reference oracle's.
+        """
+        if upper_bound is None or self.best is None:
+            return None
+        if upper_bound < self.best.cost:
+            return self.best.cost
+        return upper_bound
+
+    def _require_budget(self) -> None:
+        if self.budget.exhausted:
+            raise BudgetExhausted(
+                "budget exhausted before evaluation (per-join accounting)"
+            )

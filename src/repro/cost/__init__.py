@@ -18,6 +18,11 @@ from repro.cost.cardinality import (
     prefix_cardinalities,
     walk_plan,
 )
+from repro.cost.incremental import (
+    IncrementalEvaluator,
+    QueryContext,
+    supports_incremental,
+)
 from repro.cost.memory import MainMemoryCostModel
 from repro.cost.disk import DiskCostModel
 from repro.cost.bounds import lower_bound
@@ -37,6 +42,9 @@ __all__ = [
     "PlanEstimator",
     "StepEstimate",
     "walk_plan",
+    "IncrementalEvaluator",
+    "QueryContext",
+    "supports_incremental",
     "MainMemoryCostModel",
     "DiskCostModel",
     "NestedLoopCostModel",

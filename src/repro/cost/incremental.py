@@ -1,0 +1,404 @@
+"""Incremental plan evaluation: prefix caching with bound pruning.
+
+Every neighbor the combinatorial search visits differs from the current
+order only from some position onward — a swap at positions ``(i, j)``
+leaves the prefix before ``min(i, j)`` untouched, and so does an insert.
+Re-deriving that unchanged prefix through
+:meth:`~repro.cost.base.CostModel.plan_cost` is where the II/SA walks
+spend most of their time.  This module removes the redundancy:
+
+* :class:`QueryContext` precompiles one query's catalog — relation
+  cardinalities, adjacency, and per-pair distinct-value counts flattened
+  into index-keyed tuples — so the inner costing loop performs no dict or
+  string lookups and never touches predicate objects.
+* :class:`IncrementalEvaluator` keeps per-position *prefix state* for an
+  anchor order (cumulative cost, intermediate size, and the
+  distinct-value caps of the propagating estimator) and prices a
+  candidate by recomputing only the suffix after the longest prefix it
+  shares with the anchor.  An ``upper_bound`` makes the walk abort the
+  moment its running total exceeds the bound — the incumbent's cost in
+  iterative improvement, the accept-threshold in simulated annealing.
+
+**Exactness.**  The suffix walk replicates the arithmetic of
+:class:`~repro.cost.cardinality.PlanEstimator` and the base
+:meth:`~repro.cost.base.CostModel.plan_cost` operation for operation, in
+the same order, so a full (unaborted) evaluation returns the *bitwise
+identical* float the full evaluator returns.  The differential harness in
+``tests/test_cost_incremental.py`` enforces this along random walks.
+
+**Eligibility.**  The engine reproduces the semantics of the *base*
+``plan_cost`` (propagating estimator + sum of ``join_cost``).  Models
+that override ``plan_cost`` — :class:`~repro.cost.static.StaticCostModel`
+(different estimator) and the fault-injection wrappers — must not be
+routed through it; :func:`supports_incremental` is the gate the search
+layer uses.
+
+**Bound pruning contract.**  Aborts are decision-safe only because join
+costs are non-negative: once the running total exceeds ``upper_bound``,
+the final total can only be larger, so a strictly-less-than acceptance
+test must reject.  Models with negative join costs are not eligible (the
+stock models all price joins positively).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.catalog.join_graph import JoinGraph
+from repro.cost.base import CostModel
+from repro.cost.cardinality import (
+    MAX_CARDINALITY,
+    CostOverflowError,
+    clamp_cardinality,
+)
+from repro.cost.memory import MainMemoryCostModel
+
+__all__ = ["QueryContext", "IncrementalEvaluator", "supports_incremental"]
+
+
+def supports_incremental(model: CostModel) -> bool:
+    """True when ``model`` inherits the base ``plan_cost`` unchanged.
+
+    A model that overrides ``plan_cost`` (a different estimator, a fault
+    injector bypassing the overflow guard) defines its own plan semantics
+    that the incremental walk would silently disagree with.
+    """
+    return type(model).plan_cost is CostModel.plan_cost
+
+
+class QueryContext:
+    """One query's catalog, precompiled for the incremental inner loop.
+
+    ``adjacency[k]`` is a tuple of ``(neighbor, neighbor_distinct,
+    own_distinct)`` triples in the same order as
+    ``graph.adjacency(k).items()`` — preserving that order keeps the
+    selectivity product bitwise identical to the full estimator's.
+    """
+
+    __slots__ = (
+        "graph",
+        "model",
+        "n_relations",
+        "cardinalities",
+        "adjacency",
+        "degrees",
+        "join_cost",
+        "_memory_constants",
+    )
+
+    def __init__(self, graph: JoinGraph, model: CostModel) -> None:
+        if not supports_incremental(model):
+            raise ValueError(
+                f"cost model {model!r} overrides plan_cost; the incremental "
+                "engine would disagree with its semantics"
+            )
+        self.graph = graph
+        self.model = model
+        n = graph.n_relations
+        self.n_relations = n
+        self.cardinalities = [
+            relation.cardinality for relation in graph.relations
+        ]
+        self.adjacency: list[tuple[tuple[int, float, float], ...]] = []
+        self.degrees: list[int] = []
+        for relation in range(n):
+            entries = tuple(
+                (
+                    neighbor,
+                    predicate.distinct_values(neighbor),
+                    predicate.distinct_values(relation),
+                )
+                for neighbor, predicate in graph.adjacency(relation).items()
+            )
+            self.adjacency.append(entries)
+            self.degrees.append(len(entries))
+        self.join_cost = model.join_cost
+        # Fast path for the default model: inlining the three-term formula
+        # saves a Python call per join.  The expression replicates
+        # MainMemoryCostModel.join_cost term for term, so results stay
+        # bitwise identical.  Exact-type check: a subclass may override.
+        self._memory_constants: tuple[float, float, float] | None = None
+        if type(model) is MainMemoryCostModel:
+            self._memory_constants = (
+                model.build_cost,
+                model.probe_cost,
+                model.output_cost,
+            )
+
+
+class IncrementalEvaluator:
+    """Prefix-cached plan costing against an *anchor* order.
+
+    Usage: :meth:`rebase` on the walk's current order, then
+    :meth:`evaluate` each candidate (optionally with ``upper_bound``),
+    and :meth:`commit` when a candidate is accepted — the candidate's
+    states, computed during its evaluation, become the new anchor without
+    any re-walk.  The engine is pure costing: budget charging, best-plan
+    tracking, and trajectory recording stay in
+    :class:`repro.core.state.DeltaEvaluator`.
+    """
+
+    def __init__(self, graph: JoinGraph, model: CostModel) -> None:
+        self.context = QueryContext(graph, model)
+        n = self.context.n_relations
+        # Anchor state: one entry per order position.
+        self._positions: tuple[int, ...] | None = None
+        self._sizes: list[float] = []
+        self._costs: list[float] = []  # cumulative cost through position p
+        self._caps: list[dict[int, float]] = []
+        self._unplaced: list[dict[int, int]] = []
+        self._total = 0.0
+        # Pending candidate (last successful evaluate), committable.
+        self._pending: tuple | None = None
+        # Version-stamped placed markers avoid an O(n) clear per candidate.
+        self._placed_stamp = [0] * n
+        self._stamp = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+
+    @property
+    def anchor(self) -> tuple[int, ...] | None:
+        """The order whose prefix states are cached (None before rebase)."""
+        return self._positions
+
+    @property
+    def anchor_cost(self) -> float:
+        """Total cost of the anchor order."""
+        if self._positions is None:
+            raise ValueError("no anchor order has been evaluated yet")
+        return self._total
+
+    def rebase(self, order: Sequence[int]) -> tuple[float, int]:
+        """Make ``order`` the anchor; returns ``(cost, joins_evaluated)``.
+
+        Reuses whatever prefix the new anchor shares with the old one, so
+        re-anchoring after a small change is itself incremental.
+        """
+        cost, joins = self._walk(tuple(order), None, None)
+        assert cost is not None  # unbounded walks never abort
+        if self._pending is not None:
+            # A walk of the anchor itself leaves nothing pending.
+            self.commit()
+        return cost, joins
+
+    def evaluate(
+        self,
+        order: Sequence[int],
+        upper_bound: float | None = None,
+        prefix_hint: int | None = None,
+    ) -> tuple[float | None, int]:
+        """Price ``order`` against the anchor's cached prefix states.
+
+        Returns ``(cost, joins_evaluated)``; ``cost`` is ``None`` when the
+        running total exceeded ``upper_bound`` (the candidate is then not
+        committable).  ``prefix_hint`` caps the prefix-sharing scan — an
+        advisory bound (e.g. a move's first changed position), never
+        trusted beyond the actual element-wise comparison, so a stale
+        hint can cost speed but not correctness.
+        """
+        return self._walk(tuple(order), upper_bound, prefix_hint)
+
+    def commit(self, order: Sequence[int] | None = None) -> None:
+        """Adopt the last fully evaluated candidate as the new anchor.
+
+        ``order``, when given, asserts which candidate the caller means —
+        a mismatch (commit after an intervening evaluate) raises rather
+        than silently anchoring the wrong order.
+        """
+        pending = self._pending
+        if pending is None:
+            raise ValueError(
+                "nothing to commit: no candidate has been fully evaluated "
+                "since the last commit"
+            )
+        positions, shared, sizes, costs, caps, unplaced, total = pending
+        if order is not None and tuple(order) != positions:
+            raise ValueError(
+                f"commit order mismatch: last evaluated {positions}, "
+                f"asked to commit {tuple(order)}"
+            )
+        del self._sizes[shared:]
+        del self._costs[shared:]
+        del self._caps[shared:]
+        del self._unplaced[shared:]
+        self._sizes.extend(sizes)
+        self._costs.extend(costs)
+        self._caps.extend(caps)
+        self._unplaced.extend(unplaced)
+        self._positions = positions
+        self._total = total
+        self._pending = None
+
+    def prime(self, order: Sequence[int]) -> None:
+        """Ensure ``order`` is the anchor; no-op when it already is."""
+        positions = tuple(order)
+        if positions != self._positions:
+            self.rebase(positions)
+
+    def joins_to_evaluate(self, order: Sequence[int]) -> int:
+        """Joins a (full, unaborted) evaluation of ``order`` would walk."""
+        positions = tuple(order)
+        shared = self._shared_prefix(positions, None)
+        if shared == len(positions):
+            return 0
+        return len(positions) - max(1, shared)
+
+    # ------------------------------------------------------------------
+    # The walk
+    # ------------------------------------------------------------------
+
+    def _shared_prefix(
+        self, positions: tuple[int, ...], prefix_hint: int | None
+    ) -> int:
+        anchor = self._positions
+        if anchor is None:
+            return 0
+        limit = min(len(anchor), len(positions))
+        if prefix_hint is not None and prefix_hint < limit:
+            limit = prefix_hint
+        shared = 0
+        while shared < limit and anchor[shared] == positions[shared]:
+            shared += 1
+        return shared
+
+    def _walk(
+        self,
+        positions: tuple[int, ...],
+        upper_bound: float | None,
+        prefix_hint: int | None,
+    ) -> tuple[float | None, int]:
+        context = self.context
+        n = len(positions)
+        if n != context.n_relations:
+            raise ValueError(
+                f"order over {n} relations does not match graph with "
+                f"{context.n_relations}"
+            )
+        shared = self._shared_prefix(positions, prefix_hint)
+        if shared == n:
+            # Identical to the anchor: nothing to recompute or commit.
+            self._pending = None
+            return self._total, 0
+
+        cardinalities = context.cardinalities
+        adjacency = context.adjacency
+        join_cost = context.join_cost
+        memory = context._memory_constants
+        if memory is not None:
+            build_cost, probe_cost, output_cost = memory
+
+        suffix_sizes: list[float] = []
+        suffix_costs: list[float] = []
+        suffix_caps: list[dict[int, float]] = []
+        suffix_unplaced: list[dict[int, int]] = []
+
+        if shared == 0:
+            first = positions[0]
+            size = clamp_cardinality(
+                cardinalities[first], f"relation {first}"
+            )
+            running = 0.0
+            caps: dict[int, float] = {}
+            unplaced: dict[int, int] = {}
+            degree = context.degrees[first]
+            if degree:
+                caps[first] = size
+                unplaced[first] = degree
+            suffix_sizes.append(size)
+            suffix_costs.append(0.0)
+            suffix_caps.append(caps.copy())
+            suffix_unplaced.append(unplaced.copy())
+            start = 1
+        else:
+            size = self._sizes[shared - 1]
+            running = self._costs[shared - 1]
+            caps = self._caps[shared - 1].copy()
+            unplaced = self._unplaced[shared - 1].copy()
+            start = shared
+
+        # Mark the prefix as placed using a fresh stamp (O(prefix), no
+        # O(n) clear).
+        self._stamp += 1
+        stamp = self._stamp
+        placed = self._placed_stamp
+        for position in range(start):
+            placed[positions[position]] = stamp
+
+        joins = 0
+        for position in range(start, n):
+            inner = positions[position]
+            selectivity = 1.0
+            open_inner = 0
+            for neighbor, outer_distinct, inner_distinct in adjacency[inner]:
+                if placed[neighbor] != stamp:
+                    open_inner += 1
+                    continue
+                cap = caps.get(neighbor)
+                if cap is not None and cap < outer_distinct:
+                    outer_distinct = cap
+                larger = max(outer_distinct, inner_distinct, 1.0)
+                selectivity *= 1.0 / larger
+                # The outer side of this edge has one fewer unplaced edge.
+                count = unplaced.get(neighbor, 0) - 1
+                if count <= 0:
+                    unplaced.pop(neighbor, None)
+                    caps.pop(neighbor, None)
+                else:
+                    unplaced[neighbor] = count
+
+            inner_size = cardinalities[inner]
+            result = size * inner_size * selectivity
+            if not (1.0 <= result <= MAX_CARDINALITY):
+                result = clamp_cardinality(
+                    result, f"joining relation {inner}"
+                )
+
+            if open_inner:
+                unplaced[inner] = open_inner
+                caps[inner] = inner_size if inner_size < result else result
+            for relation, cap in caps.items():
+                if cap > result:
+                    caps[relation] = result
+
+            if memory is not None:
+                running += (
+                    build_cost * inner_size
+                    + probe_cost * size
+                    + output_cost * result
+                )
+            else:
+                running += join_cost(size, inner_size, result)
+            joins += 1
+            if upper_bound is not None and running > upper_bound:
+                # Every remaining join can only add cost, so the total
+                # already exceeds the bound: a strictly-less acceptance
+                # test must reject this candidate.  Abort before
+                # snapshotting — the candidate can never be committed.
+                self._pending = None
+                return None, joins
+            placed[inner] = stamp
+            size = result
+
+            suffix_sizes.append(size)
+            suffix_costs.append(running)
+            suffix_caps.append(caps.copy())
+            suffix_unplaced.append(unplaced.copy())
+
+        if not math.isfinite(running):
+            raise CostOverflowError(
+                f"{context.model.name} cost model produced non-finite plan "
+                f"cost {running!r} for order {positions}"
+            )
+        self._pending = (
+            positions,
+            shared,
+            suffix_sizes,
+            suffix_costs,
+            suffix_caps,
+            suffix_unplaced,
+            running,
+        )
+        return running, joins

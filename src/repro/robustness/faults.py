@@ -267,18 +267,44 @@ def corrupt_catalog(graph: JoinGraph, kind: str, seed: int = 0) -> JoinGraph:
 
 
 class _TrippingEvaluator:
-    """Evaluator proxy that raises after a fixed number of evaluations."""
+    """Evaluator proxy that raises after a fixed number of evaluations.
+
+    The candidate protocol is proxied explicitly (not via ``__getattr__``)
+    so delta-evaluated strategies trip at exactly the same evaluation
+    count as full-cost ones — a forwarded bound method would bypass the
+    trip check entirely.
+    """
 
     def __init__(self, inner: Evaluator, fail_after: int) -> None:
         self._inner = inner
         self._fail_after = fail_after
 
-    def evaluate(self, order: JoinOrder) -> float:
+    def _check_trip(self) -> None:
         if self._inner.n_evaluations >= self._fail_after:
             raise InjectedFault(
                 f"injected strategy crash after {self._fail_after} evaluations"
             )
+
+    def evaluate(self, order: JoinOrder) -> float:
+        self._check_trip()
         return self._inner.evaluate(order)
+
+    def evaluate_candidate(
+        self,
+        order: JoinOrder,
+        upper_bound: float | None = None,
+        first_changed: int | None = None,
+    ) -> float | None:
+        self._check_trip()
+        return self._inner.evaluate_candidate(
+            order, upper_bound=upper_bound, first_changed=first_changed
+        )
+
+    def commit_candidate(self, order: JoinOrder) -> None:
+        self._inner.commit_candidate(order)
+
+    def prime(self, order: JoinOrder) -> None:
+        self._inner.prime(order)
 
     def __getattr__(self, name):
         return getattr(self._inner, name)

@@ -181,6 +181,10 @@ def _run_guarded(
     from repro.core.state import TargetReached
 
     strategy = make_strategy(method)
+    # Always the full-cost reference Evaluator, never the incremental
+    # DeltaEvaluator: the resilient path is the recovery mechanism for
+    # misbehaving evaluation, so it must not share the optimization the
+    # verification gate is meant to check independently.
     evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
     rng_key = method if isinstance(method, str) else strategy.name
     rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)

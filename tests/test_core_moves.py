@@ -4,7 +4,8 @@ import random
 
 import pytest
 
-from repro.core.moves import MoveSet, NoValidMove
+import repro.core.moves as moves_module
+from repro.core.moves import Move, MoveSet, NoValidMove
 from repro.plans.join_order import JoinOrder
 from repro.plans.validity import is_valid_order, valid_orders
 
@@ -65,6 +66,107 @@ class TestRandomNeighbor:
     def test_rejects_bad_probability(self):
         with pytest.raises(ValueError):
             MoveSet(swap_probability=1.5)
+
+
+class TestStructuredMoves:
+    def test_swap_move_applies(self):
+        order = JoinOrder([0, 1, 2, 3])
+        move = Move("swap", 1, 3)
+        assert move.apply(order) == order.swap(1, 3)
+        assert move.first_changed == 1
+
+    def test_insert_move_applies(self):
+        order = JoinOrder([0, 1, 2, 3])
+        move = Move("insert", 3, 0)
+        assert move.apply(order) == order.insert(3, 0)
+        assert move.first_changed == 0
+
+    def test_propose_move_matches_propose_stream(self):
+        """propose() and propose_move() consume rng draws identically."""
+        order = JoinOrder([0, 1, 2, 3, 4])
+        move_set = MoveSet()
+        orders = [
+            move_set.propose(order, random.Random(9)) for _ in range(1)
+        ]
+        rng_a, rng_b = random.Random(17), random.Random(17)
+        for _ in range(50):
+            via_order = move_set.propose(order, rng_a)
+            via_move = move_set.propose_move(order, rng_b).apply(order)
+            assert via_order == via_move
+        assert orders  # silence unused-variable linters
+
+    def test_random_valid_move_returns_matching_pair(self, chain):
+        move_set = MoveSet()
+        rng = random.Random(3)
+        order = JoinOrder([0, 1, 2, 3, 4])
+        for _ in range(20):
+            move, neighbor = move_set.random_valid_move(order, chain, rng)
+            assert move.apply(order) == neighbor
+            assert is_valid_order(neighbor, chain)
+            order = neighbor
+
+
+class TestDegeneratePath:
+    def test_has_any_valid_neighbor_on_healthy_graph(self, chain):
+        assert MoveSet().has_any_valid_neighbor(
+            JoinOrder([0, 1, 2, 3, 4]), chain
+        )
+
+    def test_fails_fast_when_no_neighbor_exists(self, monkeypatch, chain):
+        """A single-order valid space is detected by the exhaustive scan
+        after the first burst of failed draws, not after max_tries."""
+        monkeypatch.setattr(
+            moves_module, "is_valid_order", lambda order, graph: False
+        )
+        move_set = MoveSet(max_tries=64)
+        draws = CountingRandom(5)
+        with pytest.raises(NoValidMove) as info:
+            move_set.random_valid_move(JoinOrder([0, 1, 2, 3, 4]), chain, draws)
+        message = str(info.value)
+        assert "exhaustive scan" in message
+        # The rejected moves are surfaced for diagnosis...
+        assert "swap(" in message or "insert(" in message
+        # ...and the retry loop stopped at the fail-fast burst (8 draws),
+        # far short of the 64-try allowance (>= 128 rng calls).
+        assert draws.calls < 64
+
+    def test_exhausted_retries_surface_rejected_moves(self, monkeypatch, chain):
+        """When neighbors exist but draws keep missing, the final error
+        lists every rejected move."""
+        monkeypatch.setattr(
+            moves_module, "is_valid_order", lambda order, graph: False
+        )
+        move_set = MoveSet(max_tries=3)
+        monkeypatch.setattr(
+            move_set, "has_any_valid_neighbor", lambda order, graph: True
+        )
+        with pytest.raises(NoValidMove) as info:
+            move_set.random_valid_move(
+                JoinOrder([0, 1, 2, 3, 4]), chain, random.Random(5)
+            )
+        message = str(info.value)
+        assert "3 tries" in message
+        assert "rejected:" in message
+
+
+class CountingRandom(random.Random):
+    """random.Random that counts draw calls (random/randrange/sample)."""
+
+    def __init__(self, seed):
+        super().__init__(seed)
+        self.calls = 0
+
+    def random(self):
+        self.calls += 1
+        return super().random()
+
+    def randrange(self, *args, **kwargs):
+        self.calls += 1
+        return super().randrange(*args, **kwargs)
+
+    def sample(self, *args, **kwargs):
+        self.calls += 1
+        return super().sample(*args, **kwargs)
 
 
 class TestReachability:

@@ -1,0 +1,349 @@
+"""Differential harness for the incremental plan-evaluation engine.
+
+The engine promises *bitwise* agreement with the full-cost oracle
+(:meth:`CostModel.plan_cost`) on every unaborted evaluation — stronger
+than the 1e-9 relative tolerance the acceptance criterion asks for — and
+that bound-pruned aborts can never flip an accept/reject decision.  Both
+promises are exercised here over random graphs x random move sequences,
+for both cost models, plus end-to-end: II and SA runs must produce
+bitwise-identical orders, costs, budgets, and trajectories whether they
+run on the reference :class:`Evaluator` or the :class:`DeltaEvaluator`
+in budget-compatibility mode.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.budget import Budget
+from repro.core.combinations import MethodParams
+from repro.core.iterative import improvement_run
+from repro.core.moves import MoveSet
+from repro.core.optimizer import optimize
+from repro.core.state import DeltaEvaluator, Evaluator, PER_JOIN, PER_PLAN
+from repro.cost.disk import DiskCostModel
+from repro.cost.incremental import (
+    IncrementalEvaluator,
+    QueryContext,
+    supports_incremental,
+)
+from repro.cost.memory import MainMemoryCostModel
+from repro.cost.static import StaticCostModel
+from repro.plans.validity import random_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+from .conftest import chain_graph, cycle_graph, star_graph
+
+MODELS = (MainMemoryCostModel(), DiskCostModel())
+
+#: >= 20 random graphs; together with the hand-built shapes and the walk
+#: length below, the harness crosses 10k differential moves per model.
+RANDOM_GRAPHS = tuple(
+    generate_query(
+        DEFAULT_SPEC,
+        n_joins=random.Random(index).choice((4, 7, 12, 20, 30)),
+        seed=1000 + index,
+    ).graph
+    for index in range(20)
+)
+MOVES_PER_GRAPH = 500
+
+
+def _walk_and_compare(graph, model, seed, n_moves, prune_probability=0.0):
+    """Replay one random walk; return (moves checked, pruned aborts).
+
+    Every candidate is costed by the engine and by ``plan_cost``; when a
+    bound is used (with ``prune_probability``), a pruned result must imply
+    the full cost exceeds the bound (the reject decision is unchanged).
+    """
+    rng = random.Random(seed)
+    move_set = MoveSet()
+    engine = IncrementalEvaluator(graph, model)
+    current = random_valid_order(graph, rng)
+    current_cost, _ = engine.rebase(current.positions)
+    assert current_cost == model.plan_cost(current, graph)
+    checked = pruned = 0
+    for _ in range(n_moves):
+        move, candidate = move_set.random_valid_move(current, graph, rng)
+        full_cost = model.plan_cost(candidate, graph)
+        bound = None
+        if prune_probability and rng.random() < prune_probability:
+            bound = current_cost
+        engine_cost, joins = engine.evaluate(
+            candidate.positions, bound, move.first_changed
+        )
+        checked += 1
+        if engine_cost is None:
+            pruned += 1
+            assert bound is not None
+            # An abort asserts "cost exceeds the bound"; verify against
+            # the oracle, and confirm the walk actually stopped early.
+            assert full_cost > bound
+            assert joins <= graph.n_joins
+        else:
+            assert engine_cost == full_cost, (
+                f"bitwise mismatch on {candidate}: "
+                f"engine {engine_cost!r} vs full {full_cost!r}"
+            )
+            # Accept-like policy to keep the anchor moving.
+            if engine_cost < current_cost or rng.random() < 0.3:
+                engine.commit(candidate.positions)
+                current, current_cost = candidate, engine_cost
+    return checked, pruned
+
+
+class TestDifferentialRandomWalks:
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    def test_random_graphs_random_walks(self, model):
+        total = total_pruned = 0
+        for index, graph in enumerate(RANDOM_GRAPHS):
+            checked, pruned = _walk_and_compare(
+                graph,
+                model,
+                seed=index,
+                n_moves=MOVES_PER_GRAPH,
+                prune_probability=0.4,
+            )
+            total += checked
+            total_pruned += pruned
+        assert total >= len(RANDOM_GRAPHS) * MOVES_PER_GRAPH
+        # The bound must actually bite somewhere, or the abort path went
+        # untested.
+        assert total_pruned > 0
+
+    @pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+    @pytest.mark.parametrize(
+        "make_graph", (chain_graph, star_graph, cycle_graph)
+    )
+    def test_hand_built_shapes(self, model, make_graph):
+        _walk_and_compare(make_graph(), model, seed=5, n_moves=200)
+
+    def test_total_moves_cross_acceptance_floor(self):
+        """The harness covers >= 10k moves across >= 20 graphs per model."""
+        assert len(RANDOM_GRAPHS) >= 20
+        assert len(RANDOM_GRAPHS) * MOVES_PER_GRAPH >= 10_000
+
+
+class TestEngineProtocol:
+    def test_rejects_plan_cost_overriding_models(self):
+        graph = chain_graph()
+        static = StaticCostModel(MainMemoryCostModel())
+        assert not supports_incremental(static)
+        with pytest.raises(ValueError, match="overrides plan_cost"):
+            QueryContext(graph, static)
+        with pytest.raises(ValueError, match="overrides plan_cost"):
+            DeltaEvaluator(graph, static, Budget.unlimited())
+
+    def test_commit_requires_fully_evaluated_candidate(self):
+        graph = chain_graph()
+        engine = IncrementalEvaluator(graph, MainMemoryCostModel())
+        with pytest.raises(ValueError, match="nothing to commit"):
+            engine.commit()
+        rng = random.Random(0)
+        order = random_valid_order(graph, rng)
+        engine.rebase(order.positions)
+        # A pruned evaluation leaves nothing committable.
+        neighbor = order.swap(0, 1)
+        cost, _ = engine.evaluate(neighbor.positions, upper_bound=0.0)
+        if cost is None:
+            with pytest.raises(ValueError, match="nothing to commit"):
+                engine.commit(neighbor.positions)
+
+    def test_commit_order_mismatch_raises(self):
+        graph = chain_graph()
+        engine = IncrementalEvaluator(graph, MainMemoryCostModel())
+        order = random_valid_order(graph, random.Random(0))
+        engine.rebase(order.positions)
+        neighbor = order.swap(1, 2)
+        engine.evaluate(neighbor.positions)
+        with pytest.raises(ValueError, match="mismatch"):
+            engine.commit(order.swap(2, 3).positions)
+
+    def test_stale_prefix_hint_is_only_advisory(self):
+        """A wrong first_changed hint may cost speed, never correctness."""
+        graph = star_graph()
+        model = MainMemoryCostModel()
+        engine = IncrementalEvaluator(graph, model)
+        order = random_valid_order(graph, random.Random(1))
+        engine.rebase(order.positions)
+        neighbor = order.swap(1, 3)
+        # Claim the order first changed at position 3 even though position
+        # 1 differs: the engine must detect the true shared prefix.
+        cost, _ = engine.evaluate(neighbor.positions, None, 3)
+        assert cost == model.plan_cost(neighbor, graph)
+
+    def test_anchor_evaluation_is_free(self):
+        graph = chain_graph()
+        engine = IncrementalEvaluator(graph, MainMemoryCostModel())
+        order = random_valid_order(graph, random.Random(2))
+        cost, joins = engine.rebase(order.positions)
+        assert joins == graph.n_joins
+        again, joins_again = engine.evaluate(order.positions)
+        assert again == cost
+        assert joins_again == 0
+
+
+def _run_ii(evaluator, graph, seed):
+    from repro.core.budget import BudgetExhausted
+
+    rng = random.Random(seed)
+    start = random_valid_order(graph, rng)
+    try:
+        return improvement_run(start, evaluator, MoveSet(), rng, patience=24)
+    except BudgetExhausted:
+        return evaluator.best
+
+
+class TestEndToEndEquivalence:
+    """II/SA on DeltaEvaluator (compat mode) == reference Evaluator."""
+
+    @pytest.mark.parametrize("method", ("II", "SA", "IAI", "WALK"))
+    @pytest.mark.parametrize("n_joins", (8, 15))
+    def test_optimize_bitwise_identical_orders(self, method, n_joins):
+        graph = generate_query(
+            DEFAULT_SPEC, n_joins=n_joins, seed=n_joins
+        ).graph
+        kwargs = dict(
+            method=method, seed=13, time_factor=2.0, units_per_n2=10.0
+        )
+        reference = optimize(graph, incremental=False, **kwargs)
+        delta = optimize(
+            graph, incremental=True, budget_accounting=PER_PLAN, **kwargs
+        )
+        assert delta.order == reference.order
+        assert delta.cost == reference.cost
+        assert delta.units_spent == reference.units_spent
+        assert delta.n_evaluations == reference.n_evaluations
+        assert delta.trajectory == reference.trajectory
+
+    def test_improvement_run_identical_on_both_evaluators(self):
+        graph = generate_query(DEFAULT_SPEC, n_joins=12, seed=3).graph
+        model = MainMemoryCostModel()
+        reference = _run_ii(
+            Evaluator(graph, model, Budget.unlimited()), graph, seed=9
+        )
+        delta_eval = DeltaEvaluator(graph, model, Budget.unlimited())
+        delta = _run_ii(delta_eval, graph, seed=9)
+        assert delta.order == reference.order
+        assert delta.cost == reference.cost
+        # Pruning must have fired, and must have saved join evaluations.
+        assert delta_eval.n_pruned > 0
+        assert (
+            delta_eval.n_joins_evaluated
+            < delta_eval.n_evaluations * graph.n_joins
+        )
+
+    def test_sa_bound_pruning_same_quality_regime(self):
+        """Draw-first SA diverges in rng stream but stays a sane anneal."""
+        graph = generate_query(DEFAULT_SPEC, n_joins=10, seed=21).graph
+        classic = optimize(graph, method="SA", seed=4, time_factor=2.0)
+        pruned = optimize(
+            graph,
+            method="SA",
+            seed=4,
+            time_factor=2.0,
+            params=MethodParams(sa_bound_pruning=True),
+        )
+        assert pruned.cost <= classic.cost * 100
+        # Both must verify against the full oracle (optimize() gates).
+
+    def test_disconnected_graphs_route_through_incremental(
+        self, two_components
+    ):
+        reference = optimize(two_components, method="II", seed=2,
+                             incremental=False)
+        delta = optimize(two_components, method="II", seed=2,
+                         incremental=True)
+        assert delta.order == reference.order
+        assert delta.cost == reference.cost
+
+
+class TestBudgetAccounting:
+    def test_per_plan_charges_match_reference(self):
+        graph = generate_query(DEFAULT_SPEC, n_joins=9, seed=5).graph
+        model = MainMemoryCostModel()
+        budget_a, budget_b = Budget(limit=4000.0), Budget(limit=4000.0)
+        _run_ii(Evaluator(graph, model, budget_a), graph, seed=1)
+        _run_ii(
+            DeltaEvaluator(graph, model, budget_b, charge_mode=PER_PLAN),
+            graph,
+            seed=1,
+        )
+        assert budget_a.spent == budget_b.spent
+
+    def test_per_join_charges_only_walked_joins(self):
+        graph = generate_query(DEFAULT_SPEC, n_joins=9, seed=5).graph
+        model = MainMemoryCostModel()
+        per_plan = Budget(limit=4000.0)
+        per_join = Budget(limit=4000.0)
+        _run_ii(
+            DeltaEvaluator(graph, model, per_plan, charge_mode=PER_PLAN),
+            graph,
+            seed=1,
+        )
+        delta = DeltaEvaluator(graph, model, per_join, charge_mode=PER_JOIN)
+        _run_ii(delta, graph, seed=1)
+        # Identical walk (same rng, same decisions), but per-join pays
+        # only for suffix walks — strictly cheaper on any non-trivial run.
+        assert per_join.spent < per_plan.spent
+        assert per_join.spent >= delta.n_evaluations  # >= 1 unit each
+
+    def test_per_join_buys_more_evaluations(self):
+        graph = generate_query(DEFAULT_SPEC, n_joins=15, seed=8).graph
+        model = MainMemoryCostModel()
+        limit = 40.0 * graph.n_joins
+        compat = DeltaEvaluator(
+            graph, model, Budget(limit=limit), charge_mode=PER_PLAN
+        )
+        _run_ii(compat, graph, seed=6)
+        per_join = DeltaEvaluator(
+            graph, model, Budget(limit=limit), charge_mode=PER_JOIN
+        )
+        _run_ii(per_join, graph, seed=6)
+        assert per_join.n_evaluations >= compat.n_evaluations
+
+    def test_unknown_charge_mode_rejected(self):
+        graph = chain_graph()
+        with pytest.raises(ValueError, match="charge_mode"):
+            DeltaEvaluator(
+                graph,
+                MainMemoryCostModel(),
+                Budget.unlimited(),
+                charge_mode="per-century",
+            )
+
+
+class TestResilientPathStaysOnOracle:
+    def test_resilient_optimize_never_instantiates_engine(
+        self, monkeypatch, small_query
+    ):
+        """optimize(resilient=True) must use the full-cost oracle only."""
+        instantiated = []
+        original_init = IncrementalEvaluator.__init__
+
+        def spying_init(self, graph, model):
+            instantiated.append(type(model).__name__)
+            original_init(self, graph, model)
+
+        monkeypatch.setattr(IncrementalEvaluator, "__init__", spying_init)
+        result = optimize(
+            small_query.graph, method="II", seed=0, resilient=True
+        )
+        assert result.cost > 0
+        assert instantiated == []
+
+    def test_verification_gate_recomputes_with_full_oracle(self):
+        """verify_plan goes through model.plan_cost, not the engine."""
+        from repro.robustness.verify import verify_plan
+
+        graph = chain_graph()
+        model = MainMemoryCostModel()
+        order = random_valid_order(graph, random.Random(0))
+        engine_cost, _ = IncrementalEvaluator(graph, model).rebase(
+            order.positions
+        )
+        report = verify_plan(order, engine_cost, graph, model)
+        assert report.ok
