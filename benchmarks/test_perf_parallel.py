@@ -1,0 +1,171 @@
+"""Microbench: wall-clock speedup of the parallel multi-start orchestrator.
+
+Times ``optimize(..., restarts=8)`` on an N = 100 query at worker counts
+1, 2, and 4, writes the machine-readable series to
+``results/BENCH_parallel.json``, and — because the orchestrator's whole
+contract is that parallelism is *free* determinism-wise — asserts that
+every worker count produced a bit-identical ``OptimizationResult``.
+
+The speedup acceptance floor (>= 2x at 4 workers) is only meaningful on
+hardware that actually has 4 cores; the recorded JSON always carries
+``cpu_count`` so a reader can judge the numbers honestly, and the
+assertion is skipped (not faked) when fewer than 4 CPUs are available.
+
+Run directly, this module is the parallel perf smoke check::
+
+    PYTHONPATH=src python benchmarks/test_perf_parallel.py --smoke [--json]
+
+which runs a reduced size (N = 40) and only checks determinism plus that
+the parallel path completes — CI-friendly on any core count.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from bench_utils import save_and_print, write_bench_json
+
+#: The acceptance configuration from ISSUE 3: 8 restarts at N = 100.
+N_JOINS = 100
+RESTARTS = 8
+WORKER_COUNTS = (1, 2, 4)
+TIME_FACTOR = 6.0
+SEED = 2026
+
+MIN_SPEEDUP_AT_4_WORKERS = 2.0
+
+
+def measure_parallel(
+    n_joins: int = N_JOINS,
+    restarts: int = RESTARTS,
+    worker_counts: tuple[int, ...] = WORKER_COUNTS,
+    time_factor: float = TIME_FACTOR,
+    seed: int = SEED,
+) -> dict:
+    """Time the orchestrator at several worker counts; verify bit-identity.
+
+    Returns a dict ready for :func:`bench_utils.write_bench_json`.
+    """
+    from repro.core.optimizer import optimize
+    from repro.workloads.benchmarks import DEFAULT_SPEC
+    from repro.workloads.generator import generate_query
+
+    query = generate_query(DEFAULT_SPEC, n_joins=n_joins, seed=seed)
+    results = {}
+    timings = {}
+    for workers in worker_counts:
+        t0 = time.perf_counter()
+        results[workers] = optimize(
+            query,
+            method="II",
+            seed=seed,
+            time_factor=time_factor,
+            workers=workers,
+            restarts=restarts,
+        )
+        timings[workers] = time.perf_counter() - t0
+    serial = timings[worker_counts[0]]
+    reference = results[worker_counts[0]]
+    return {
+        "benchmark": "parallel-multi-start",
+        "n_joins": n_joins,
+        "restarts": restarts,
+        "time_factor": time_factor,
+        "seed": seed,
+        "cpu_count": os.cpu_count(),
+        "cost": reference.cost,
+        "units_spent": reference.units_spent,
+        "bit_identical": all(
+            results[w] == reference for w in worker_counts
+        ),
+        "workers": {
+            str(workers): {
+                "seconds": round(timings[workers], 4),
+                "speedup_vs_serial": round(serial / timings[workers], 3)
+                if timings[workers] > 0
+                else float("inf"),
+            }
+            for workers in worker_counts
+        },
+    }
+
+
+@pytest.mark.slow
+def test_parallel_speedup():
+    point = measure_parallel()
+    path = write_bench_json("parallel", point)
+    lines = [
+        f"Parallel multi-start: {point['restarts']} restarts at "
+        f"N={point['n_joins']} ({point['cpu_count']} CPU(s) available):",
+    ]
+    for workers, stats in point["workers"].items():
+        lines.append(
+            f"  workers={workers}: {stats['seconds']:>8.3f}s "
+            f"({stats['speedup_vs_serial']:.2f}x vs serial)"
+        )
+    lines.append(f"machine-readable series: {path.name}")
+    save_and_print("parallel_speedup", "\n".join(lines))
+
+    # Determinism is non-negotiable on any hardware.
+    assert point["bit_identical"]
+
+    # Wall-clock speedup needs the cores to exist.  Never fake it: the
+    # JSON above records whatever this machine really did.
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            f"speedup floor needs >= 4 CPUs (have {os.cpu_count()}); "
+            "timings recorded in BENCH_parallel.json"
+        )
+    assert (
+        point["workers"]["4"]["speedup_vs_serial"] >= MIN_SPEEDUP_AT_4_WORKERS
+    )
+
+
+def _smoke_main(argv: list[str] | None = None) -> int:
+    """Reduced-size smoke: determinism and orchestration health per PR."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the parallel orchestrator."
+    )
+    parser.add_argument("--smoke", action="store_true", help="run reduced bench")
+    parser.add_argument("--n-joins", type=int, default=40)
+    parser.add_argument("--restarts", type=int, default=4)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_parallel_smoke.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+    point = measure_parallel(
+        n_joins=args.n_joins,
+        restarts=args.restarts,
+        worker_counts=(1, 2),
+        time_factor=1.5,
+    )
+    for workers, stats in point["workers"].items():
+        print(
+            f"workers={workers}: {stats['seconds']:.3f}s "
+            f"({stats['speedup_vs_serial']:.2f}x vs serial)"
+        )
+    if args.json:
+        path = write_bench_json("parallel_smoke", point)
+        print(f"wrote {path}")
+    if not point["bit_identical"]:
+        print("SMOKE FAIL: parallel result differs from serial")
+        return 1
+    print(f"SMOKE OK (cpu_count={point['cpu_count']})")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    raise SystemExit(_smoke_main())

@@ -99,6 +99,22 @@ def _build_parser() -> argparse.ArgumentParser:
         "actually evaluated",
     )
 
+    parallelism = argparse.ArgumentParser(add_help=False)
+    parallelism.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="fan restarts across this many worker processes; the result "
+        "is bit-identical to --workers 1 for any seed (see docs/testing.md)",
+    )
+    parallelism.add_argument(
+        "--restarts",
+        type=int,
+        default=None,
+        help="independent multi-start restarts to orchestrate (default 8 "
+        "when --workers is given; unset keeps the single-trajectory path)",
+    )
+
     resilience = argparse.ArgumentParser(add_help=False)
     resilience.add_argument(
         "--resilient",
@@ -115,14 +131,16 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cmd = sub.add_parser(
         "optimize",
-        parents=[common, evaluation, resilience],
+        parents=[common, evaluation, resilience, parallelism],
         help="optimize one query",
     )
     cmd.add_argument("--method", default="IAI", help="optimization method")
     cmd.add_argument("--explain", action="store_true", help="print the join tree")
 
     cmd = sub.add_parser(
-        "compare", parents=[common, evaluation], help="compare methods"
+        "compare",
+        parents=[common, evaluation, parallelism],
+        help="compare methods",
     )
     cmd.add_argument(
         "--methods",
@@ -157,7 +175,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cmd = sub.add_parser(
         "sql",
-        parents=[evaluation, resilience],
+        parents=[evaluation, resilience, parallelism],
         help="optimize a SQL query against a catalog",
     )
     cmd.add_argument("query", help="SQL text (quote the whole query)")
@@ -200,6 +218,8 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         incremental=args.incremental,
         budget_accounting=args.budget_accounting,
+        workers=args.workers,
+        restarts=args.restarts,
     )
     print(f"query          : {query.name} (N={query.n_joins})")
     print(f"method         : {result.method}")
@@ -215,21 +235,28 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
 
 
 def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.core.combinations import compare_methods
+    from repro.robustness.resilience import FailureLog
+
     spec = benchmark_spec(args.benchmark)
     query = generate_query(spec, args.joins, args.seed)
     model = _cost_model(args.model)
-    results = {}
     for method in args.methods:
         make_strategy(method)  # validate the name before the long run
-        results[method] = optimize(
-            query,
-            method=method,
-            model=model,
-            time_factor=args.time_factor,
-            seed=args.seed,
-            incremental=args.incremental,
-            budget_accounting=args.budget_accounting,
-        )
+    failure_log = FailureLog()
+    results = compare_methods(
+        query,
+        methods=args.methods,
+        model=model,
+        time_factor=args.time_factor,
+        seed=args.seed,
+        incremental=args.incremental,
+        budget_accounting=args.budget_accounting,
+        workers=args.workers,
+        failure_log=failure_log,
+    )
+    if failure_log:
+        print(failure_log.summary(), file=sys.stderr)
     best = min(result.cost for result in results.values())
     ranked = sorted(results.items(), key=lambda kv: kv[1].cost)
     print(
@@ -339,6 +366,8 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         max_retries=args.max_retries,
         incremental=args.incremental,
         budget_accounting=args.budget_accounting,
+        workers=args.workers,
+        restarts=args.restarts,
     )
     print(f"relations : {query.graph.n_relations}  joins: {query.n_joins}")
     print(f"method    : {result.method}")

@@ -44,12 +44,12 @@ from repro.core.augmentation import (
     DEFAULT_CRITERION,
     augmentation_orders,
 )
-from repro.core.budget import BudgetExhausted
+from repro.core.budget import BudgetExhausted, DEFAULT_UNITS_PER_N2
 from repro.core.iterative import improvement_run, multi_start_improvement
 from repro.core.kbz import DEFAULT_WEIGHT, kbz_orders
 from repro.core.local_improvement import best_strategy_for_budget, local_improve
 from repro.core.moves import MoveSet
-from repro.core.state import Evaluation, Evaluator
+from repro.core.state import Evaluation, Evaluator, PER_PLAN
 from repro.plans.join_order import JoinOrder
 from repro.plans.validity import random_valid_order
 
@@ -240,7 +240,7 @@ class TwoPhaseStrategy(Strategy):
                 local = improvement_run(
                     start, evaluator, params.move_set, rng, patience=params.patience
                 )
-                if best is None or local.cost < best.cost:
+                if local is not None and (best is None or local.cost < best.cost):
                     best = local
                 if evaluator.budget.spent >= ii_limit:
                     break
@@ -322,7 +322,7 @@ class IALStrategy(Strategy):
                 local = improvement_run(
                     start, evaluator, params.move_set, rng, patience=params.patience
                 )
-                if best is None or local.cost < best.cost:
+                if local is not None and (best is None or local.cost < best.cost):
                     best = local
             # Augmentation states exhausted: polish the best local minimum
             # with the strongest local-improvement pass that still fits.
@@ -471,6 +471,95 @@ TOP_FIVE_METHODS = ("IAI", "IAL", "AGI", "KBI", "II")
 def available_method_names() -> list[str]:
     """Every method name accepted by :func:`make_strategy`."""
     return sorted(_FACTORIES)
+
+
+def compare_methods(
+    query,
+    methods=PAPER_METHODS,
+    *,
+    model=None,
+    time_factor: float = 9.0,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    seed: int = 0,
+    params: MethodParams | None = None,
+    workers: int | None = None,
+    incremental: bool = True,
+    budget_accounting: str = PER_PLAN,
+    stop_at_bound: bool = False,
+    bound_tolerance: float = 1.05,
+    failure_log=None,
+):
+    """Run several methods on one query; results keyed by method name.
+
+    This is the multi-method comparison behind the paper's Figures 4–7
+    and the CLI ``compare`` command.  With ``workers`` set, the methods
+    run concurrently through :func:`repro.parallel.map_jobs` — each
+    method is an independent ``optimize()`` call with its own budget and
+    the *same* seed as the serial path, so the returned mapping is
+    bit-identical for every worker count.  A worker crash is logged to
+    ``failure_log`` (when given) and the method re-run serially.
+
+    A method whose budget expires before any plan is evaluated raises
+    :class:`~repro.core.budget.BudgetExhausted`, exactly as the serial
+    loop would.
+    """
+    # Imported lazily: the optimizer module imports this one.
+    from repro.core.optimizer import optimize
+
+    methods = list(methods)
+    if workers is None or workers <= 1 or len(methods) <= 1:
+        return {
+            name: optimize(
+                query,
+                method=name,
+                model=model,
+                time_factor=time_factor,
+                units_per_n2=units_per_n2,
+                seed=seed,
+                params=params,
+                stop_at_bound=stop_at_bound,
+                bound_tolerance=bound_tolerance,
+                incremental=incremental,
+                budget_accounting=budget_accounting,
+            )
+            for name in methods
+        }
+
+    from repro.catalog.join_graph import Query as _Query
+    from repro.cost.memory import MainMemoryCostModel
+    from repro.parallel.orchestrator import OptimizeJob, map_jobs
+
+    graph = query.graph if isinstance(query, _Query) else query
+    jobs = [
+        OptimizeJob(
+            graph=graph,
+            method=name,
+            model=model if model is not None else MainMemoryCostModel(),
+            seed=seed,
+            index=index,
+            tag=str(name),
+            time_factor=time_factor,
+            units_per_n2=units_per_n2,
+            params=params,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
+            stop_at_bound=stop_at_bound,
+            bound_tolerance=bound_tolerance,
+        )
+        for index, name in enumerate(methods)
+    ]
+    outcomes = map_jobs(jobs, workers, failure_log=failure_log)
+    results = {}
+    for name, outcome in zip(methods, outcomes):
+        if outcome.result is None:
+            raise BudgetExhausted(
+                f"method {name}: {outcome.error or 'no plan evaluated'}"
+            )
+        # The worker's result carries a pickled copy of the graph; swap
+        # the parent's object back in so the mapping compares equal to
+        # the serial path's (JoinGraph has identity semantics).
+        results[name] = replace(outcome.result, graph=graph)
+    return results
 
 
 def make_strategy(name: str | Strategy) -> Strategy:

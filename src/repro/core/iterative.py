@@ -37,18 +37,36 @@ def improvement_run(
     rng: random.Random,
     patience: int | None = None,
     start_cost: float | None = None,
-) -> Evaluation:
+) -> Evaluation | None:
     """One run of iterative improvement from ``start``.
 
     Returns the local minimum reached (or the best state so far when the
     budget expires mid-run — :class:`BudgetExhausted` propagates to the
     caller *after* the evaluator has recorded everything evaluated).
+
+    When the evaluator carries a ``record_floor`` (the parallel
+    orchestrator's globally shared bound), the start state is priced with
+    that floor as its upper bound; a start whose walk aborts — it provably
+    costs more than both the floor and the local best — is *skipped* and
+    the run returns ``None``, so the budget flows to the next start
+    instead of a descent that begins above a plan already in hand.  The
+    bound an in-progress descent uses is unchanged: the incumbent's cost
+    is always the tightest sound bound for an acceptance-driven walk.
     """
     if patience is None:
         patience = default_patience(evaluator.graph.n_relations)
     current = start
     if start_cost is None:
-        current_cost = evaluator.evaluate(start)
+        if evaluator.record_floor is not None:
+            bounded = evaluator.evaluate_candidate(
+                start, upper_bound=evaluator.record_floor
+            )
+            if bounded is None:
+                return None
+            evaluator.commit_candidate(start)
+            current_cost = bounded
+        else:
+            current_cost = evaluator.evaluate(start)
     else:
         current_cost = start_cost
         evaluator.prime(start)
@@ -98,7 +116,7 @@ def multi_start_improvement(
             local = improvement_run(
                 start, evaluator, move_set, rng, patience=patience
             )
-            if best is None or local.cost < best.cost:
+            if local is not None and (best is None or local.cost < best.cost):
                 best = local
     except BudgetExhausted:
         pass

@@ -87,6 +87,7 @@ def _optimize_connected(
     target_cost: float | None = None,
     incremental: bool = True,
     budget_accounting: str = PER_PLAN,
+    record_floor: float | None = None,
 ) -> Evaluator:
     """Run one strategy on a connected graph; returns its evaluator."""
     strategy = make_strategy(method)
@@ -102,12 +103,16 @@ def _optimize_connected(
             budget,
             target_cost=target_cost,
             charge_mode=budget_accounting,
+            record_floor=record_floor,
         )
     else:
         # Models that override plan_cost (static heuristics, fault
         # injectors) define their own plan semantics; they keep the full
         # reference evaluator.
-        evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
+        evaluator = Evaluator(
+            graph, model, budget, target_cost=target_cost,
+            record_floor=record_floor,
+        )
     if graph.n_relations == 1:
         evaluator.best = None
         return evaluator
@@ -133,6 +138,9 @@ def optimize(
     max_retries: int = 2,
     incremental: bool = True,
     budget_accounting: str = PER_PLAN,
+    workers: int | None = None,
+    restarts: int | None = None,
+    record_floor: float | None = None,
 ) -> OptimizationResult:
     """Optimize a join query with one of the paper's methods.
 
@@ -176,6 +184,22 @@ def optimize(
         ``"per-join"`` charges only the joins the delta evaluator actually
         walks, so prefix reuse and bound pruning buy more candidates per
         budget.  Ignored when the full evaluator is in effect.
+    workers / restarts:
+        Setting either routes the call through the multi-start
+        orchestrator (:func:`repro.parallel.multi_start_optimize`):
+        ``restarts`` independent restarts (default
+        :data:`~repro.parallel.orchestrator.DEFAULT_RESTARTS`), each on
+        an equal budget share with a seed derived as
+        ``derive_seed(seed, "worker", k)``, fanned across ``workers``
+        processes and merged deterministically — the result is
+        bit-identical for every worker count, crashes included.  Both
+        ``None`` (the default) keeps the legacy single-trajectory path
+        bit-unchanged.  Incompatible with ``resilient=True`` (the
+        orchestrator has its own crash recovery).
+    record_floor:
+        A trusted upper bound on the cost that still matters: start
+        states pricier than the floor are skipped.  Set by the
+        orchestrator to its pre-pass floor; rarely useful directly.
 
     Every returned plan — resilient or not — passes the verification gate
     (:func:`repro.robustness.verify.verify_plan`): the order is a valid
@@ -193,6 +217,34 @@ def optimize(
     target_cost = (
         bound_tolerance * lower_bound(graph, model) if stop_at_bound else None
     )
+
+    if workers is not None or restarts is not None:
+        if resilient:
+            raise ValueError(
+                "resilient=True cannot be combined with workers/restarts: "
+                "the parallel orchestrator has its own crash recovery "
+                "(crashed restarts are re-executed serially, never dropped)"
+            )
+        # Imported lazily: repro.parallel sits above core.
+        from repro.parallel.orchestrator import multi_start_optimize
+
+        result, _report = multi_start_optimize(
+            graph,
+            method=method,
+            model=model,
+            time_factor=time_factor,
+            units_per_n2=units_per_n2,
+            seed=seed,
+            budget=budget,
+            params=params,
+            restarts=restarts,
+            workers=workers,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
+            stop_at_bound=stop_at_bound,
+            bound_tolerance=bound_tolerance,
+        )
+        return result
 
     if resilient:
         # Imported lazily: robustness is a layer above core and importing
@@ -221,6 +273,7 @@ def optimize(
             target_cost,
             incremental=incremental,
             budget_accounting=budget_accounting,
+            record_floor=record_floor,
         )
         if evaluator.best is None:
             raise BudgetExhausted(

@@ -71,11 +71,19 @@ class Evaluator:
         model: CostModel,
         budget: Budget,
         target_cost: float | None = None,
+        record_floor: float | None = None,
     ) -> None:
         self.graph = graph
         self.model = model
         self.budget = budget
         self.target_cost = target_cost
+        #: A globally inherited upper bound on the best *relevant* cost —
+        #: the parallel orchestrator sets this to its deterministic
+        #: pre-pass floor so every restart prunes start states that price
+        #: above a plan the merge already holds.  Search loops may pass it
+        #: as ``upper_bound`` wherever a candidate pricier than the floor
+        #: cannot matter; ``None`` (the default) changes nothing.
+        self.record_floor = record_floor
         self.n_evaluations = 0
         self.best: Evaluation | None = None
         self.trajectory: list[tuple[float, float]] = []
@@ -199,6 +207,7 @@ class DeltaEvaluator(Evaluator):
         budget: Budget,
         target_cost: float | None = None,
         charge_mode: str = PER_PLAN,
+        record_floor: float | None = None,
     ) -> None:
         if charge_mode not in CHARGE_MODES:
             raise ValueError(
@@ -209,7 +218,10 @@ class DeltaEvaluator(Evaluator):
                 f"cost model {model!r} overrides plan_cost and cannot be "
                 "evaluated incrementally; use the base Evaluator"
             )
-        super().__init__(graph, model, budget, target_cost=target_cost)
+        super().__init__(
+            graph, model, budget, target_cost=target_cost,
+            record_floor=record_floor,
+        )
         self.charge_mode = charge_mode
         self.engine = IncrementalEvaluator(graph, model)
         #: Joins actually walked (full or aborted), across all evaluations.

@@ -206,10 +206,15 @@ class IncrementalEvaluator:
 
         ``order``, when given, asserts which candidate the caller means —
         a mismatch (commit after an intervening evaluate) raises rather
-        than silently anchoring the wrong order.
+        than silently anchoring the wrong order.  Committing the anchor
+        itself is a no-op: evaluating an order identical to the anchor
+        leaves nothing pending (there was nothing to recompute), yet the
+        caller's accept-the-candidate flow is still satisfied.
         """
         pending = self._pending
         if pending is None:
+            if order is not None and tuple(order) == self._positions:
+                return
             raise ValueError(
                 "nothing to commit: no candidate has been fully evaluated "
                 "since the last commit"

@@ -11,7 +11,7 @@ averaged over replicates and queries.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.catalog.join_graph import Query
 from repro.core.budget import DEFAULT_UNITS_PER_N2
@@ -115,17 +115,97 @@ def _units_for(query: Query, factor: float, units_per_n2: float) -> float:
     return factor * n * n * units_per_n2
 
 
+def _all_runs(
+    queries: list[Query],
+    config: ExperimentConfig,
+    workers: int | None,
+    failure_log=None,
+) -> list[dict[str, list]]:
+    """One trajectory-carrying run per (query, method, replicate).
+
+    Every trial is an independent ``optimize()`` call seeded by
+    ``derive_seed(config.seed, query.name, method, replicate)``; with
+    ``workers`` set, the trials are fanned across a process pool through
+    :func:`repro.parallel.map_jobs` — same seeds, same budgets, so the
+    aggregate is bit-identical to the serial sweep.  A crashed worker is
+    logged to ``failure_log`` (when given) and its trial re-run serially.
+    """
+    methods = config.all_methods
+    triples = [
+        (query, method, replicate)
+        for query in queries
+        for method in methods
+        for replicate in range(config.replicates)
+    ]
+    if workers is None or workers <= 1 or len(triples) <= 1:
+        results = [
+            optimize(
+                query,
+                method=method,
+                model=config.model,
+                time_factor=config.max_factor,
+                units_per_n2=config.units_per_n2,
+                seed=derive_seed(config.seed, query.name, method, replicate),
+            )
+            for query, method, replicate in triples
+        ]
+    else:
+        from repro.parallel.orchestrator import OptimizeJob, map_jobs
+
+        jobs = [
+            OptimizeJob(
+                graph=query.graph,
+                method=method,
+                model=config.model,
+                seed=derive_seed(config.seed, query.name, method, replicate),
+                index=index,
+                tag=f"{query.name}/{method}/r{replicate}",
+                time_factor=config.max_factor,
+                units_per_n2=config.units_per_n2,
+            )
+            for index, (query, method, replicate) in enumerate(triples)
+        ]
+        outcomes = map_jobs(jobs, workers, failure_log=failure_log)
+        results = []
+        for (query, method, replicate), outcome in zip(triples, outcomes):
+            if outcome.result is None:
+                from repro.core.budget import BudgetExhausted
+
+                raise BudgetExhausted(
+                    f"{query.name}/{method}/r{replicate}: "
+                    f"{outcome.error or 'no plan evaluated'}"
+                )
+            # Swap the parent's graph object back in (the worker's copy
+            # came through pickle; JoinGraph has identity semantics) so
+            # trial results compare equal to the serial sweep's.
+            results.append(replace(outcome.result, graph=query.graph))
+    per_trial = iter(results)
+    all_runs: list[dict[str, list]] = []
+    for query in queries:
+        runs: dict[str, list] = {method: [] for method in methods}
+        for method in methods:
+            for _replicate in range(config.replicates):
+                runs[method].append(next(per_trial))
+        all_runs.append(runs)
+    return all_runs
+
+
 def run_experiment(
     queries: list[Query],
     config: ExperimentConfig,
     progress=None,
+    workers: int | None = None,
+    failure_log=None,
 ) -> ExperimentResult:
     """Execute the comparison and aggregate the scaled costs.
 
     ``progress`` is an optional callable ``(done, total)`` invoked after
-    each optimized query, for long runs.
+    each optimized query, for long runs.  ``workers`` fans the
+    (query, method, replicate) trials across a process pool; the
+    aggregated result is bit-identical to the serial run (see
+    :mod:`repro.parallel`).  ``failure_log`` collects worker-crash
+    records when parallel execution has to fall back serially.
     """
-    methods = config.all_methods
     accumulator: dict[str, dict[float, list[float]]] = {
         method: {factor: [] for factor in config.time_factors}
         for method in config.methods
@@ -134,22 +214,8 @@ def run_experiment(
         method: {factor: 0 for factor in config.time_factors}
         for method in config.methods
     }
-    for done, query in enumerate(queries, start=1):
-        # Run everything at the largest limit, keep trajectories.
-        runs: dict[str, list] = {method: [] for method in methods}
-        for method in methods:
-            for replicate in range(config.replicates):
-                seed = derive_seed(config.seed, query.name, method, replicate)
-                runs[method].append(
-                    optimize(
-                        query,
-                        method=method,
-                        model=config.model,
-                        time_factor=config.max_factor,
-                        units_per_n2=config.units_per_n2,
-                        seed=seed,
-                    )
-                )
+    all_runs = _all_runs(queries, config, workers, failure_log=failure_log)
+    for done, (query, runs) in enumerate(zip(queries, all_runs), start=1):
         # Per-query scaling base: best final cost over ALL methods/replicates.
         best = min(
             result.cost for results in runs.values() for result in results

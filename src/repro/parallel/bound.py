@@ -1,0 +1,65 @@
+"""A cross-process, monotonically decreasing best-cost bound.
+
+Workers publish every restart's final cost here, so any observer (the
+orchestrating parent, a progress display, another worker between
+restarts) can read the globally best cost seen so far without waiting
+for the merge.
+
+What the bound is **not** used for — deliberately — is mid-restart
+pruning.  For the acceptance-driven searches this repo runs, the
+incumbent state's cost is already the tightest sound upper bound (any
+candidate pricier than the incumbent is rejected regardless), and
+consulting a live cross-process value would make a restart's outcome
+depend on scheduling, destroying the ``workers=N == workers=1``
+bit-identity invariant the test harness enforces.  The *deterministic*
+global bound every restart inherits is the orchestrator's pre-pass
+floor (see :mod:`repro.parallel.orchestrator`), threaded into the
+evaluators as ``record_floor``.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+from multiprocessing.sharedctypes import Synchronized
+
+
+class SharedBound:
+    """Monotone-min double shared across processes.
+
+    Safe to hand to :class:`~concurrent.futures.ProcessPoolExecutor`
+    workers through the pool initializer (works under both ``fork`` and
+    ``spawn`` start methods, where closures over inherited globals would
+    not).
+    """
+
+    def __init__(self, value: Synchronized | None = None) -> None:
+        self._value: Synchronized = (
+            value if value is not None else mp.Value("d", math.inf)
+        )
+
+    @property
+    def raw(self) -> Synchronized:
+        """The underlying ``multiprocessing.Value`` (for pool initargs)."""
+        return self._value
+
+    def get(self) -> float:
+        """The best (lowest) cost published so far; ``inf`` when none."""
+        with self._value.get_lock():
+            return self._value.value
+
+    def publish(self, cost: float) -> bool:
+        """Lower the bound to ``cost`` if it improves it.
+
+        Returns True when ``cost`` became the new bound.  Non-finite
+        costs are ignored: a NaN/inf publication must never poison the
+        bound (NaN compares false against everything and would otherwise
+        freeze it).
+        """
+        if not math.isfinite(cost):
+            return False
+        with self._value.get_lock():
+            if cost < self._value.value:
+                self._value.value = cost
+                return True
+            return False

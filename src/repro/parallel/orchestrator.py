@@ -1,0 +1,411 @@
+"""Process-pool multi-start orchestration with deterministic merging.
+
+The paper's combinatorial methods are embarrassingly parallel across
+restarts: each restart is a pure function of its derived seed and budget
+share.  This module fans restarts out to a process pool and merges their
+results so that, **for any seed, ``workers=N`` returns an
+``OptimizationResult`` bit-identical to ``workers=1``** — the invariant
+the differential harness in ``tests/test_parallel_search.py`` enforces.
+
+How the pieces keep that invariant while still sharing work globally:
+
+Pre-pass floor (the deterministic shared bound)
+    Before fanning out, the parent prices the deterministic spanning
+    order (:func:`~repro.robustness.resilience.deterministic_fallback_order`)
+    once.  Its cost ``F`` is threaded into every restart's evaluator as
+    ``record_floor``: a start state that provably prices above ``F`` is
+    skipped (its descent would begin above a plan the merge already
+    holds), so every worker inherits the incremental evaluator's
+    upper-bound pruning *globally* — and identically, because ``F`` does
+    not depend on scheduling.
+
+Live bound (:class:`~repro.parallel.bound.SharedBound`)
+    Workers publish each restart's final cost to a cross-process
+    monotone-min value.  It is read for monitoring/reporting, never
+    consulted mid-restart: for acceptance-driven search the incumbent's
+    cost is already the tightest sound pruning bound, and a live value
+    would make results scheduling-dependent.
+
+Deterministic merge
+    The winner is the minimum by ``(cost, restart index)``, with the
+    pre-pass order winning only on strictly smaller cost.  Units spent
+    are summed in ascending restart index (fixed float summation order)
+    and the merged trajectory is the monotone-decreasing envelope of the
+    restarts' trajectories laid end to end in index order — exactly the
+    bookkeeping a serial sweep over the same restarts would produce.
+
+Crash recovery
+    A worker that dies mid-restart (or any pool-level failure) is logged
+    as a :class:`~repro.robustness.resilience.FailureRecord` on the
+    :class:`ParallelReport` and its restart is re-executed serially in
+    the parent — never dropped — so the merged result is still
+    bit-identical to the crash-free run.  Crash records live on the
+    report, not the result: the result must compare equal across runs
+    that did and did not crash.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
+from repro.core.combinations import MethodParams, Strategy
+from repro.core.state import PER_PLAN
+from repro.cost.base import CostModel
+from repro.parallel.bound import SharedBound
+from repro.plans.join_order import JoinOrder
+from repro.robustness.resilience import (
+    FailureLog,
+    FailureRecord,
+    deterministic_fallback_order,
+)
+from repro.utils.rng import derive_seed
+
+#: Restart count used when the caller asks for orchestration (``workers``
+#: and/or ``restarts``) without fixing the count.  A constant independent
+#: of the worker count, so ``workers=4`` and ``workers=1`` run the same
+#: restarts by default.
+DEFAULT_RESTARTS = 8
+
+# Worker-process state installed by the pool initializer.  ``_IN_POOL_WORKER``
+# doubles as the guard for the crash-injection hook: a ``crash`` job only
+# kills the process when it actually runs inside a pool worker, so the
+# serial re-execution of that same job in the parent completes normally.
+_SHARED_BOUND: SharedBound | None = None
+_IN_POOL_WORKER = False
+
+
+def _pool_init(raw_bound) -> None:
+    global _SHARED_BOUND, _IN_POOL_WORKER
+    _IN_POOL_WORKER = True
+    if raw_bound is not None:
+        _SHARED_BOUND = SharedBound(raw_bound)
+
+
+@dataclass(frozen=True)
+class OptimizeJob:
+    """One self-contained, picklable ``optimize()`` invocation.
+
+    ``limit`` of ``None`` lets ``optimize`` derive the paper budget from
+    ``time_factor``/``units_per_n2``; the orchestrator always sets an
+    explicit share.  ``crash`` is the fault-injection hook: the job calls
+    ``os._exit`` when (and only when) executed inside a pool worker.
+    """
+
+    graph: JoinGraph
+    method: str | Strategy
+    model: CostModel
+    seed: int
+    index: int
+    tag: str
+    limit: float | None = None
+    time_factor: float = 9.0
+    units_per_n2: float = DEFAULT_UNITS_PER_N2
+    params: MethodParams | None = None
+    incremental: bool = True
+    budget_accounting: str = PER_PLAN
+    record_floor: float | None = None
+    stop_at_bound: bool = False
+    bound_tolerance: float = 1.05
+    crash: bool = False
+
+
+@dataclass(frozen=True)
+class JobOutcome:
+    """What one job produced: a result, or how far it got before failing."""
+
+    index: int
+    tag: str
+    result: object | None  # OptimizationResult | None
+    units_spent: float
+    error: str | None = None
+
+
+def run_job(job: OptimizeJob) -> JobOutcome:
+    """Execute one job (in a pool worker or inline in the parent)."""
+    if job.crash and _IN_POOL_WORKER:
+        # Simulate a hard worker crash: no exception, no cleanup, the
+        # process is simply gone.  The parent sees BrokenProcessPool.
+        os._exit(17)
+    from repro.core.optimizer import optimize
+
+    budget = Budget(limit=job.limit) if job.limit is not None else None
+    try:
+        result = optimize(
+            job.graph,
+            method=job.method,
+            model=job.model,
+            time_factor=job.time_factor,
+            units_per_n2=job.units_per_n2,
+            seed=job.seed,
+            budget=budget,
+            params=job.params,
+            stop_at_bound=job.stop_at_bound,
+            bound_tolerance=job.bound_tolerance,
+            incremental=job.incremental,
+            budget_accounting=job.budget_accounting,
+            record_floor=job.record_floor,
+        )
+    except BudgetExhausted as exc:
+        if budget is not None:
+            spent = budget.spent
+        else:
+            spent = Budget.for_query(
+                max(1, job.graph.n_joins), job.time_factor, job.units_per_n2
+            ).limit
+        return JobOutcome(job.index, job.tag, None, spent, str(exc))
+    if _SHARED_BOUND is not None:
+        _SHARED_BOUND.publish(result.cost)
+    return JobOutcome(job.index, job.tag, result, result.units_spent, None)
+
+
+def map_jobs(
+    jobs: list[OptimizeJob],
+    workers: int,
+    failure_log: FailureLog | None = None,
+    shared: SharedBound | None = None,
+) -> list[JobOutcome]:
+    """Run jobs across ``workers`` processes; outcomes in job order.
+
+    With one worker (or one job) everything runs inline — no pool, no
+    pickling, and the crash-injection hook stays inert.  Pool failures
+    (a worker killed mid-job, a pickling error, a broken pool) are
+    logged to ``failure_log`` and the affected jobs re-executed serially
+    in the parent, so no job is ever dropped and the returned outcomes
+    are independent of how (or whether) the pool misbehaved.
+    """
+    outcomes: dict[int, JobOutcome] = {}
+    if workers > 1 and len(jobs) > 1:
+        raw = shared.raw if shared is not None else None
+        with ProcessPoolExecutor(
+            max_workers=workers, initializer=_pool_init, initargs=(raw,)
+        ) as pool:
+            futures = {pool.submit(run_job, job): job for job in jobs}
+            for future in as_completed(futures):
+                job = futures[future]
+                try:
+                    outcomes[job.index] = future.result()
+                except Exception as exc:  # noqa: BLE001 — any pool failure
+                    if failure_log is not None:
+                        failure_log.add(
+                            stage=f"parallel-worker-{job.index}",
+                            method=job.tag,
+                            seed=job.seed,
+                            kind=type(exc).__name__,
+                            detail=str(exc) or "worker process died",
+                            action="re-executed serially in parent",
+                        )
+    for job in jobs:
+        if job.index not in outcomes:
+            outcome = run_job(job)
+            if shared is not None and outcome.result is not None:
+                shared.publish(outcome.result.cost)
+            outcomes[job.index] = outcome
+    return [outcomes[job.index] for job in jobs]
+
+
+@dataclass(frozen=True)
+class ParallelReport:
+    """Orchestration metadata that must stay OFF the result.
+
+    Crash records and pool telemetry vary between runs that produced the
+    *same* plan; keeping them here preserves the differential invariant
+    that ``OptimizationResult`` compares equal across worker counts and
+    across crashed/clean executions.
+    """
+
+    restarts: int
+    workers: int
+    share: float
+    prepass_cost: float
+    best_bound: float
+    failures: tuple[FailureRecord, ...] = ()
+    #: Per-restart ``(index, cost or None, units spent)`` in index order.
+    outcomes: tuple[tuple[int, float | None, float], ...] = ()
+
+    @property
+    def crashed(self) -> bool:
+        return bool(self.failures)
+
+
+def multi_start_optimize(
+    query: Query | JoinGraph,
+    method: str | Strategy = "IAI",
+    model: CostModel | None = None,
+    time_factor: float = 9.0,
+    units_per_n2: float = DEFAULT_UNITS_PER_N2,
+    seed: int = 0,
+    budget: Budget | None = None,
+    params: MethodParams | None = None,
+    restarts: int | None = None,
+    workers: int | None = None,
+    incremental: bool = True,
+    budget_accounting: str = PER_PLAN,
+    stop_at_bound: bool = False,
+    bound_tolerance: float = 1.05,
+    crash_indices: tuple[int, ...] = (),
+):
+    """Multi-start optimization: parallel fan-out, deterministic merge.
+
+    Returns ``(result, report)``: the merged
+    :class:`~repro.core.optimizer.OptimizationResult` — bit-identical
+    for every ``workers`` value — and the :class:`ParallelReport` with
+    the orchestration telemetry (crashes, per-restart outcomes, the live
+    bound's final value).
+
+    Each restart ``k`` runs the full ``optimize()`` machinery on an
+    equal budget share with seed ``derive_seed(seed, "worker", k)``, so
+    a restart's outcome is a pure function of ``(seed, k, share)`` and
+    never of which process ran it when.  ``crash_indices`` marks
+    restarts that kill their pool worker mid-job (test hook).
+    """
+    from repro.core.optimizer import (
+        OptimizationResult,
+        _method_label,
+        optimize,
+    )
+    from repro.robustness.verify import verify_or_raise
+
+    graph = query.graph if isinstance(query, Query) else query
+    if model is None:
+        from repro.cost.memory import MainMemoryCostModel
+
+        model = MainMemoryCostModel()
+    if params is None:
+        params = MethodParams()
+    if restarts is None:
+        restarts = DEFAULT_RESTARTS
+    if restarts < 1:
+        raise ValueError(f"restarts must be >= 1, got {restarts}")
+    workers = 1 if workers is None else int(workers)
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    label = _method_label(method)
+    n_joins = max(1, graph.n_joins)
+    if budget is None:
+        budget = Budget.for_query(n_joins, time_factor, units_per_n2)
+
+    if graph.n_relations == 1:
+        # Mirrors the legacy contract for trivial graphs (raises
+        # BudgetExhausted: there is nothing to evaluate).
+        result = optimize(
+            graph, method=method, model=model, seed=seed, budget=budget,
+            params=params,
+        )
+        report = ParallelReport(
+            restarts=0, workers=workers, share=0.0,
+            prepass_cost=result.cost, best_bound=result.cost,
+        )
+        return result, report
+
+    # Pre-pass: price the deterministic spanning order once.  Its cost is
+    # the floor F every restart inherits for start-state pruning, and the
+    # merge's fallback candidate.  Charged like any other evaluation.
+    budget.charge(float(n_joins))
+    prepass_mark = budget.spent
+    fallback = deterministic_fallback_order(graph)
+    try:
+        floor: float | None = model.plan_cost(fallback, graph)
+        if not math.isfinite(floor):
+            floor = None
+    except Exception:  # noqa: BLE001 — an unpriceable floor disables it
+        floor = None
+
+    share = max(1.0, budget.remaining / restarts)
+    jobs = [
+        OptimizeJob(
+            graph=graph,
+            method=method,
+            model=model,
+            seed=derive_seed(seed, "worker", k),
+            index=k,
+            tag=f"{label}#{k}",
+            limit=share,
+            time_factor=time_factor,
+            units_per_n2=units_per_n2,
+            params=params,
+            incremental=incremental,
+            budget_accounting=budget_accounting,
+            record_floor=floor,
+            stop_at_bound=stop_at_bound,
+            bound_tolerance=bound_tolerance,
+            crash=(k in crash_indices),
+        )
+        for k in range(restarts)
+    ]
+
+    failure_log = FailureLog()
+    shared = SharedBound()
+    if floor is not None:
+        shared.publish(floor)
+    outcomes = map_jobs(jobs, workers, failure_log=failure_log, shared=shared)
+
+    # Deterministic merge: minimum by (cost, restart index); the pre-pass
+    # order wins only on strictly smaller cost.
+    winner: JobOutcome | None = None
+    for outcome in outcomes:
+        if outcome.result is not None and (
+            winner is None or outcome.result.cost < winner.result.cost
+        ):
+            winner = outcome
+    if winner is None and floor is None:
+        raise BudgetExhausted(
+            "budget expired before any plan could be evaluated"
+        )
+    if winner is not None and (floor is None or winner.result.cost <= floor):
+        best_order: JoinOrder = winner.result.order
+        best_cost: float = winner.result.cost
+    else:
+        best_order, best_cost = fallback, floor
+
+    # Serial-equivalent bookkeeping: units in ascending index order, the
+    # trajectory as the monotone-decreasing envelope with each restart's
+    # points offset by everything spent before it.
+    trajectory: list[tuple[float, float]] = []
+    best_so_far = math.inf
+    if floor is not None:
+        trajectory.append((prepass_mark, floor))
+        best_so_far = floor
+    offset = prepass_mark
+    total_evaluations = 1 if floor is not None else 0
+    for outcome in outcomes:
+        if outcome.result is not None:
+            total_evaluations += outcome.result.n_evaluations
+            for units, cost in outcome.result.trajectory:
+                if cost < best_so_far:
+                    best_so_far = cost
+                    trajectory.append((offset + units, cost))
+        offset += outcome.units_spent
+    budget.spent = min(budget.limit, offset)
+
+    result = OptimizationResult(
+        method=label,
+        graph=graph,
+        order=best_order,
+        cost=best_cost,
+        units_spent=budget.spent,
+        n_evaluations=total_evaluations,
+        trajectory=tuple(trajectory),
+    )
+    verify_or_raise(result.order, result.cost, graph, model)
+    report = ParallelReport(
+        restarts=restarts,
+        workers=workers,
+        share=share,
+        prepass_cost=floor if floor is not None else math.inf,
+        best_bound=shared.get(),
+        failures=failure_log.as_tuple(),
+        outcomes=tuple(
+            (
+                o.index,
+                o.result.cost if o.result is not None else None,
+                o.units_spent,
+            )
+            for o in outcomes
+        ),
+    )
+    return result, report

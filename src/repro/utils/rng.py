@@ -5,6 +5,17 @@ Every stochastic component of the library receives an explicit
 streams from a root seed plus a path of string/int keys, so that any single
 cell of any table (one query, one method, one replicate) can be regenerated
 in isolation without replaying the whole experiment.
+
+The derivation feeds a **type-tagged, length-framed** encoding of the key
+path into SHA-256.  Each key contributes ``tag ":" len(payload) ":"
+payload``, so no concatenation of two distinct key paths can produce the
+same byte stream: ``("worker", 12)`` and ``("worker1", 2)`` frame as
+``s:6:worker i:2:12`` versus ``s:7:worker1 i:1:2``.  Earlier revisions
+hashed ``repr`` of the keys, which made the stream depend on repr
+formatting (fragile across types whose reprs coincide, and outright
+non-deterministic for objects whose default repr embeds a memory address —
+fatal once seeds are derived inside pool worker processes).  Unsupported
+key types now raise ``TypeError`` instead of silently hashing their repr.
 """
 
 from __future__ import annotations
@@ -14,16 +25,63 @@ import random
 
 _MASK_64 = (1 << 64) - 1
 
+#: Version tag mixed into every derivation, so future encoding revisions
+#: can never collide with the current one.
+_ENCODING_VERSION = b"repro-rng-v2\x00"
+
+
+def _frame(tag: str, payload: str) -> bytes:
+    """One length-framed component: ``tag:len:payload`` in UTF-8."""
+    data = payload.encode("utf-8")
+    return tag.encode("ascii") + b":" + str(len(data)).encode("ascii") + b":" + data
+
+
+def _encode_key(key: object) -> bytes:
+    """A canonical, injective byte encoding of one key.
+
+    Supported: ``str``, ``int``, ``bool``, ``float``, ``bytes``, ``None``,
+    and (nested) tuples of these.  Each type gets its own tag, so ``12``,
+    ``"12"``, ``12.0``, and ``True``/``1`` all derive distinct streams.
+    """
+    if isinstance(key, bool):  # before int: bool is an int subclass
+        return _frame("b", "1" if key else "0")
+    if isinstance(key, int):
+        return _frame("i", str(key))
+    if isinstance(key, str):
+        return _frame("s", key)
+    if isinstance(key, float):
+        # hex() is an exact, locale-independent round-trip for floats.
+        return _frame("f", key.hex())
+    if isinstance(key, bytes):
+        return _frame("y", key.hex())
+    if key is None:
+        return _frame("n", "")
+    if isinstance(key, tuple):
+        inner = b"".join(_encode_key(item) for item in key)
+        return (
+            b"t:" + str(len(key)).encode("ascii") + b":(" + inner + b")"
+        )
+    raise TypeError(
+        f"cannot derive a stable stream from key {key!r} of type "
+        f"{type(key).__name__}; use str/int/float/bytes/None or tuples "
+        "of them"
+    )
+
 
 def derive_seed(root_seed: int, *keys: object) -> int:
     """Derive a stable 64-bit seed from a root seed and a key path.
 
-    The derivation hashes the textual representation of the key path, so it
-    is stable across processes and Python versions (unlike ``hash()``).
+    Stable across processes, platforms, and Python versions (unlike
+    ``hash()``), and injective over the supported key types: distinct key
+    paths — including paths whose naive string concatenations coincide —
+    always hash distinct byte streams.
     """
-    material = repr((int(root_seed), tuple(repr(k) for k in keys)))
-    digest = hashlib.sha256(material.encode("utf-8")).digest()
-    return int.from_bytes(digest[:8], "big") & _MASK_64
+    digest = hashlib.sha256()
+    digest.update(_ENCODING_VERSION)
+    digest.update(_frame("i", str(int(root_seed))))
+    for key in keys:
+        digest.update(_encode_key(key))
+    return int.from_bytes(digest.digest()[:8], "big") & _MASK_64
 
 
 def derive_rng(root_seed: int, *keys: object) -> random.Random:

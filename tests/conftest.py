@@ -1,10 +1,21 @@
-"""Shared fixtures: small hand-built join graphs and generated queries."""
+"""Shared fixtures: small hand-built join graphs and generated queries.
+
+Also auto-applies the ``fast`` marker to every test not marked ``slow``,
+so the two tiers are selectable symmetrically (``-m fast`` / ``-m slow``)
+without hand-marking hundreds of quick tests.
+"""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.catalog.join_graph import JoinGraph, Query
+
+
+def pytest_collection_modifyitems(config, items):
+    for item in items:
+        if item.get_closest_marker("slow") is None:
+            item.add_marker(pytest.mark.fast)
 from repro.catalog.predicates import JoinPredicate
 from repro.catalog.relation import Relation
 from repro.workloads.benchmarks import DEFAULT_SPEC

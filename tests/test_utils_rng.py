@@ -1,6 +1,9 @@
 """Tests for deterministic RNG derivation."""
 
+import itertools
 import random
+
+import pytest
 
 from repro.utils.rng import derive_rng, derive_seed
 
@@ -27,6 +30,92 @@ class TestDeriveSeed:
     def test_is_64_bit(self):
         for seed in range(20):
             assert 0 <= derive_seed(seed, "x") < 2**64
+
+
+class TestKeyFraming:
+    """Distinct key paths whose naive stringifications coincide must
+    yield distinct streams (the framing regression suite)."""
+
+    def test_worker_index_concatenation(self):
+        # "worker" + "12" and "worker1" + "2" both concatenate to
+        # "worker12"; the length framing keeps them apart.
+        assert derive_seed(0, "worker", 12) != derive_seed(0, "worker1", 2)
+
+    def test_string_split_points(self):
+        assert derive_seed(0, "ab", "c") != derive_seed(0, "a", "bc")
+        assert derive_seed(0, "abc") != derive_seed(0, "ab", "c")
+        assert derive_seed(0, "", "abc") != derive_seed(0, "abc", "")
+
+    def test_numeric_type_tags(self):
+        values = [12, "12", 12.0, "12.0"]
+        seeds = [derive_seed(0, value) for value in values]
+        assert len(set(seeds)) == len(values)
+
+    def test_bool_is_not_int(self):
+        assert derive_seed(0, True) != derive_seed(0, 1)
+        assert derive_seed(0, False) != derive_seed(0, 0)
+
+    def test_none_and_empty_string_distinct(self):
+        assert derive_seed(0, None) != derive_seed(0, "")
+        assert derive_seed(0, None) != derive_seed(0, "None")
+
+    def test_tuple_flattening_distinct(self):
+        assert derive_seed(0, ("a", "b")) != derive_seed(0, "a", "b")
+        assert derive_seed(0, ("a",), "b") != derive_seed(0, "a", ("b",))
+
+    def test_negative_and_positive_ints_distinct(self):
+        assert derive_seed(0, -1) != derive_seed(0, 1)
+        assert derive_seed(0, "-1") != derive_seed(0, -1)
+
+    def test_unsupported_key_type_raises(self):
+        class Opaque:
+            pass
+
+        with pytest.raises(TypeError):
+            derive_seed(0, Opaque())
+        with pytest.raises(TypeError):
+            derive_seed(0, ["list", "key"])
+
+    def test_collision_probe_10k_streams(self):
+        """10k derived streams over adversarial key paths: all distinct.
+
+        The paths mix the orchestrator's ("worker", k) shape with
+        deliberately confusable variants — shifted digits, string forms,
+        float forms, concatenation-equivalent prefixes.
+        """
+        def typed(path):
+            # 0 == 0.0 == False in Python, so dedup must be type-aware:
+            # the framing is *supposed* to separate those paths.
+            return tuple((type(key).__name__, key) for key in path)
+
+        seeds: dict[int, tuple] = {}
+        paths = []
+        for k in range(2000):
+            paths.append(("worker", k))
+            paths.append((f"worker{k}",))
+            paths.append((f"worker{k // 10}", k % 10))
+            paths.append(("worker", str(k)))
+            paths.append(("worker", float(k)))
+        assert len(paths) == 10_000
+        for path in paths:
+            seed = derive_seed(1234, *path)
+            assert seed not in seeds or seeds[seed] == typed(path), (
+                f"collision: {path} vs {seeds[seed]}"
+            )
+            seeds[seed] = typed(path)
+        assert len(seeds) == len({typed(path) for path in paths})
+
+    def test_probe_pairwise_concatenation_shapes(self):
+        """Every split of 'abcdef' into 1-3 parts derives distinctly."""
+        word = "abcdef"
+        splits = set()
+        for i, j in itertools.combinations(range(1, len(word)), 2):
+            splits.add((word[:i], word[i:j], word[j:]))
+        for i in range(1, len(word)):
+            splits.add((word[:i], word[i:]))
+        splits.add((word,))
+        seeds = {split: derive_seed(7, *split) for split in splits}
+        assert len(set(seeds.values())) == len(splits)
 
 
 class TestDeriveRng:
