@@ -1,0 +1,53 @@
+"""detlint — an AST-level invariant linter for the reproduction codebase.
+
+The repo's headline guarantee is *bit-identical determinism*: incremental
+delta costing equals full ``plan_cost`` and ``workers=N`` equals
+``workers=1``.  PRs 2–3 enforce that guarantee dynamically, with
+differential tests that sample a tiny fraction of code paths.  This
+package enforces it *statically*: every source file is parsed and checked
+against a rule library that rejects the constructs from which
+nondeterminism, swallowed failures, and silent overflow actually arise —
+so the violations cannot be written, rather than merely usually caught.
+
+Rules shipped (see :mod:`repro.analysis.rules` for details):
+
+========  ==============================================================
+DET001    no unseeded RNG outside ``repro.utils.rng``
+DET002    no wall-clock reads outside the budget/calibration allowlist
+DET003    no ordered consumption of bare ``set``/``dict.keys()`` iteration
+DET004    pool-dispatched callables must be module-level and closure-free
+EXC001    broad ``except`` only at annotated robustness boundaries
+OVF001    cardinality products must route through the overflow guards
+SUP001    ``detlint: ignore`` pragmas must carry a reason (engine-level)
+SUP002    ``detlint: ignore`` pragmas must match a finding (engine-level)
+========  ==============================================================
+
+Run it with ``python -m repro.analysis src/``.  Configuration lives in
+``[tool.detlint]`` in ``pyproject.toml``; per-line suppressions use
+``# detlint: ignore[RULE] -- reason`` and grandfathered findings live in
+a checked-in JSON baseline.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import DetlintConfig, load_config
+from repro.analysis.engine import AnalysisResult, Analyzer, ModuleContext
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.reporting import render_json, render_text
+from repro.analysis.rules import RULES, rule_registry
+
+__all__ = [
+    "AnalysisResult",
+    "Analyzer",
+    "Baseline",
+    "DetlintConfig",
+    "Finding",
+    "ModuleContext",
+    "RULES",
+    "Rule",
+    "load_config",
+    "render_json",
+    "render_text",
+    "rule_registry",
+]

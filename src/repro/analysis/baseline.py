@@ -1,0 +1,98 @@
+"""Checked-in baseline: grandfathered findings that do not fail the run.
+
+The baseline is a JSON file mapping finding fingerprints (which are
+line-number free — see :class:`repro.analysis.findings.Finding`) to a
+human-readable record of what was grandfathered.  Findings whose
+fingerprint appears in the baseline are reported as ``baselined`` and do
+not affect the exit code; fixing the underlying code makes the entry
+*stale*, which the engine reports so the baseline only ever shrinks.
+
+``python -m repro.analysis --write-baseline`` rewrites the file from the
+current unsuppressed findings (sorted, stable diffs).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+BASELINE_VERSION = 1
+
+
+@dataclass
+class Baseline:
+    """The set of grandfathered fingerprints, with display metadata."""
+
+    entries: dict[str, dict[str, object]] = field(default_factory=dict)
+    path: str | None = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        """Load a baseline file; a missing file is an empty baseline."""
+        if not os.path.isfile(path):
+            return cls(entries={}, path=path)
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if (
+            not isinstance(document, dict)
+            or document.get("version") != BASELINE_VERSION
+            or not isinstance(document.get("findings"), dict)
+        ):
+            raise ValueError(
+                f"{path} is not a detlint baseline "
+                f"(expected version {BASELINE_VERSION})"
+            )
+        return cls(entries=dict(document["findings"]), path=path)
+
+    @classmethod
+    def from_findings(
+        cls, findings: list[Finding], path: str | None = None
+    ) -> "Baseline":
+        """A baseline grandfathering every finding that currently counts."""
+        entries: dict[str, dict[str, object]] = {}
+        for finding in findings:
+            if finding.suppressed:
+                continue
+            entries[finding.fingerprint] = {
+                "rule": finding.rule,
+                "path": finding.path,
+                "snippet": finding.snippet,
+                "message": finding.message,
+            }
+        return cls(entries=entries, path=path)
+
+    def save(self, path: str | None = None) -> str:
+        target = path or self.path
+        if target is None:
+            raise ValueError("no baseline path to save to")
+        document = {
+            "version": BASELINE_VERSION,
+            "findings": {
+                fingerprint: self.entries[fingerprint]
+                for fingerprint in sorted(self.entries)
+            },
+        }
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        return target
+
+    def apply(self, findings: list[Finding]) -> list[Finding]:
+        """Mark findings whose fingerprint is grandfathered."""
+        return [
+            finding.with_status(baselined=True)
+            if finding.fingerprint in self.entries and not finding.suppressed
+            else finding
+            for finding in findings
+        ]
+
+    def stale_fingerprints(self, findings: list[Finding]) -> list[str]:
+        """Entries no current finding matches — fixed code, prune them."""
+        live = {finding.fingerprint for finding in findings}
+        return sorted(set(self.entries) - live)
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,236 @@
+"""The analyzer: file discovery, parsing, rule dispatch, status layering.
+
+One :class:`Analyzer` run is deterministic end to end (fitting, for this
+package): files are discovered in sorted order, rules run in registry
+order, and findings are sorted by location before anything downstream
+sees them — so reports, baselines, and exit codes never depend on
+filesystem enumeration order.
+
+Status layering happens strictly after the rules run:
+
+1. rules produce raw findings (pure functions of the AST);
+2. occurrence indices are assigned (stable fingerprints for duplicates);
+3. line suppressions mark findings ``suppressed`` and raise the
+   SUP001/SUP002 hygiene findings;
+4. the baseline marks surviving findings ``baselined`` and reports any
+   stale entries.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.config import DetlintConfig
+from repro.analysis.findings import Finding, Rule
+from repro.analysis.rules import RULES, ImportMap
+from repro.analysis.suppressions import apply_suppressions, parse_suppressions
+
+#: Engine-level rule code for files the parser rejects.
+PARSE_ERROR = "SYN001"
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule may look at for one module."""
+
+    path: str  # absolute
+    rel_path: str  # POSIX-style, relative to the project root
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    imports: ImportMap
+    config: DetlintConfig
+
+    def options(self, rule_code: str) -> Mapping[str, Any]:
+        return self.config.options_for(rule_code)
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one run produced, pre-sorted and classified."""
+
+    findings: list[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    stale_baseline: list[str] = field(default_factory=list)
+    baseline_path: str | None = None
+    rule_codes: tuple[str, ...] = ()
+
+    @property
+    def unsuppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.counts]
+
+    @property
+    def suppressed(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.suppressed]
+
+    @property
+    def baselined(self) -> list[Finding]:
+        return [finding for finding in self.findings if finding.baselined]
+
+    @property
+    def ok(self) -> bool:
+        return not self.unsuppressed and not self.stale_baseline
+
+    @property
+    def exit_code(self) -> int:
+        return 0 if self.ok else 1
+
+
+def _discover(paths: Iterable[str], root: str) -> list[str]:
+    """All ``.py`` files under ``paths`` (absolute, sorted, de-duplicated)."""
+    found: set[str] = set()
+    for entry in paths:
+        absolute = (
+            entry if os.path.isabs(entry) else os.path.join(root, entry)
+        )
+        if os.path.isfile(absolute):
+            if absolute.endswith(".py"):
+                found.add(os.path.abspath(absolute))
+            continue
+        for dirpath, dirnames, filenames in os.walk(absolute):
+            dirnames[:] = sorted(
+                name
+                for name in dirnames
+                if not name.startswith(".") and name != "__pycache__"
+            )
+            for filename in filenames:
+                if filename.endswith(".py"):
+                    found.add(os.path.abspath(os.path.join(dirpath, filename)))
+    return sorted(found)
+
+
+def _assign_occurrences(findings: list[Finding]) -> list[Finding]:
+    """Index duplicate (rule, snippet) pairs in line order."""
+    ordered = sorted(findings, key=lambda f: (f.line, f.column, f.rule))
+    counts: dict[tuple[str, str], int] = {}
+    out: list[Finding] = []
+    for finding in ordered:
+        key = (finding.rule, finding.snippet)
+        index = counts.get(key, 0)
+        counts[key] = index + 1
+        out.append(finding.with_status(occurrence=index))
+    return out
+
+
+#: Default for ``Analyzer(baseline=...)``: load the configured baseline.
+#: Pass ``None`` explicitly to run without one (``--no-baseline``).
+_AUTO_BASELINE: Any = object()
+
+
+class Analyzer:
+    """Run the rule library over a file set under one configuration."""
+
+    def __init__(
+        self,
+        config: DetlintConfig,
+        rules: Sequence[Rule] | None = None,
+        baseline: Baseline | None = _AUTO_BASELINE,
+    ) -> None:
+        self.config = config
+        self.rules: tuple[Rule, ...] = tuple(rules if rules is not None else RULES)
+        if baseline is _AUTO_BASELINE:
+            baseline = (
+                Baseline.load(os.path.join(config.root, config.baseline))
+                if config.baseline is not None
+                else None
+            )
+        self.baseline = baseline
+
+    def _rel_path(self, path: str) -> str:
+        rel = os.path.relpath(os.path.abspath(path), self.config.root)
+        return rel.replace(os.sep, "/")
+
+    def check_source(self, source: str, rel_path: str) -> list[Finding]:
+        """Analyze one in-memory module (the unit the fixture tests use).
+
+        Returns findings with occurrence indices and suppressions applied;
+        the baseline is **not** applied (that is a run-level concern).
+        """
+        lines = source.splitlines()
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as exc:
+            return [
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=rel_path,
+                    line=exc.lineno or 1,
+                    column=(exc.offset or 1) - 1,
+                    message=f"file does not parse: {exc.msg}",
+                    snippet=(exc.text or "").strip(),
+                )
+            ]
+        ctx = ModuleContext(
+            path=rel_path,
+            rel_path=rel_path,
+            source=source,
+            lines=lines,
+            tree=tree,
+            imports=ImportMap(tree),
+            config=self.config,
+        )
+        raw: list[Finding] = []
+        for rule in self.rules:
+            if not self.config.rule_applies(rule.code, rel_path):
+                continue
+            raw.extend(rule.check(ctx))
+        indexed = _assign_occurrences(raw)
+        suppressions = parse_suppressions(lines)
+        outcome = apply_suppressions(rel_path, lines, indexed, suppressions)
+        return sorted(
+            outcome.findings + outcome.hygiene,
+            key=lambda f: (f.line, f.column, f.rule),
+        )
+
+    def check_file(self, path: str) -> list[Finding]:
+        rel_path = self._rel_path(path)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        except (OSError, UnicodeDecodeError) as exc:
+            return [
+                Finding(
+                    rule=PARSE_ERROR,
+                    path=rel_path,
+                    line=1,
+                    column=0,
+                    message=f"file is unreadable: {exc}",
+                    snippet="",
+                )
+            ]
+        return self.check_source(source, rel_path)
+
+    def run(self, paths: Sequence[str] | None = None) -> AnalysisResult:
+        """Analyze ``paths`` (default: the configured paths)."""
+        targets = list(paths) if paths else list(self.config.paths)
+        files = [
+            path
+            for path in _discover(targets, self.config.root)
+            if not self.config.exclude
+            or not any(
+                self._rel_path(path) == ex
+                or self._rel_path(path).startswith(ex.rstrip("/") + "/")
+                for ex in self.config.exclude
+            )
+        ]
+        findings: list[Finding] = []
+        for path in files:
+            findings.extend(self.check_file(path))
+        stale: list[str] = []
+        baseline_path = None
+        if self.baseline is not None:
+            findings = self.baseline.apply(findings)
+            stale = self.baseline.stale_fingerprints(findings)
+            baseline_path = self.baseline.path
+        findings.sort(key=lambda f: (f.path, f.line, f.column, f.rule))
+        return AnalysisResult(
+            findings=findings,
+            files_checked=len(files),
+            stale_baseline=stale,
+            baseline_path=baseline_path,
+            rule_codes=tuple(rule.code for rule in self.rules),
+        )

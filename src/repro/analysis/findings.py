@@ -1,0 +1,113 @@
+"""Finding and Rule: the vocabulary shared by the engine and the rules.
+
+A :class:`Finding` is one violation at one source location.  Its
+:attr:`~Finding.fingerprint` is deliberately **line-number free**: it
+hashes the rule, the file, the normalized source line, and the
+occurrence index of that triple within the file, so a finding keeps its
+identity (and its baseline entry) when unrelated edits shift it up or
+down the file.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.analysis.engine import ModuleContext
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # POSIX-style, relative to the project root
+    line: int  # 1-based
+    column: int  # 0-based, as reported by ast
+    message: str
+    snippet: str  # the stripped source line, for reports and fingerprints
+    #: Set by the engine, never by rules:
+    suppressed: bool = False
+    suppression_reason: str | None = None
+    baselined: bool = False
+    #: Occurrence index of (rule, path, snippet) within the file, assigned
+    #: by the engine so duplicated lines still fingerprint distinctly.
+    occurrence: int = 0
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by the baseline; line-number free."""
+        payload = "\x1f".join(
+            (self.rule, self.path, self.snippet, str(self.occurrence))
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:20]
+
+    @property
+    def counts(self) -> bool:
+        """Whether this finding should fail the run."""
+        return not (self.suppressed or self.baselined)
+
+    def located(self) -> str:
+        return f"{self.path}:{self.line}:{self.column + 1}"
+
+    def with_status(
+        self,
+        *,
+        suppressed: bool | None = None,
+        suppression_reason: str | None = None,
+        baselined: bool | None = None,
+        occurrence: int | None = None,
+    ) -> "Finding":
+        """A copy with engine-assigned status fields updated."""
+        updates: dict[str, object] = {}
+        if suppressed is not None:
+            updates["suppressed"] = suppressed
+        if suppression_reason is not None:
+            updates["suppression_reason"] = suppression_reason
+        if baselined is not None:
+            updates["baselined"] = baselined
+        if occurrence is not None:
+            updates["occurrence"] = occurrence
+        return replace(self, **updates)  # type: ignore[arg-type]
+
+
+@dataclass
+class Rule:
+    """Base class for AST rules.
+
+    Subclasses set the class attributes and implement :meth:`check`,
+    yielding findings for one parsed module.  Rules never see
+    suppressions or the baseline — the engine applies those afterwards,
+    so every rule stays a pure function of the source tree.
+    """
+
+    code: str = "RULE000"
+    name: str = "unnamed"
+    description: str = ""
+    #: Default config merged under ``[tool.detlint.rules.<code>]``.
+    default_options: dict = field(default_factory=dict)
+
+    def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+    # -- helpers shared by the concrete rules ---------------------------
+
+    def finding(
+        self, ctx: "ModuleContext", node: ast.AST, message: str
+    ) -> Finding:
+        line = getattr(node, "lineno", 1)
+        column = getattr(node, "col_offset", 0)
+        snippet = ""
+        if 1 <= line <= len(ctx.lines):
+            snippet = ctx.lines[line - 1].strip()
+        return Finding(
+            rule=self.code,
+            path=ctx.rel_path,
+            line=line,
+            column=column,
+            message=message,
+            snippet=snippet,
+        )

@@ -1,0 +1,87 @@
+"""Reporters: human-readable text and machine-readable JSON.
+
+Both render the same :class:`~repro.analysis.engine.AnalysisResult`;
+both are deterministic (findings arrive pre-sorted from the engine and
+JSON keys are emitted sorted), so report diffs track code diffs.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.engine import AnalysisResult
+from repro.analysis.findings import Finding
+
+REPORT_VERSION = 1
+
+
+def _status(finding: Finding) -> str:
+    if finding.suppressed:
+        return "suppressed"
+    if finding.baselined:
+        return "baselined"
+    return "open"
+
+
+def render_text(result: AnalysisResult, verbose: bool = False) -> str:
+    """The text report: one ``file:line:col CODE message`` per finding."""
+    lines: list[str] = []
+    for finding in result.findings:
+        if not finding.counts and not verbose:
+            continue
+        status = _status(finding)
+        marker = "" if status == "open" else f" [{status}]"
+        lines.append(
+            f"{finding.located()}: {finding.rule}{marker} {finding.message}"
+        )
+        if finding.snippet:
+            lines.append(f"    {finding.snippet}")
+        if verbose and finding.suppression_reason:
+            lines.append(f"    reason: {finding.suppression_reason}")
+    for fingerprint in result.stale_baseline:
+        lines.append(
+            f"stale baseline entry {fingerprint}: the finding it "
+            "grandfathered no longer exists; prune it with --write-baseline"
+        )
+    open_count = len(result.unsuppressed)
+    summary = (
+        f"{result.files_checked} file(s) checked, {open_count} open "
+        f"finding(s), {len(result.suppressed)} suppressed, "
+        f"{len(result.baselined)} baselined"
+    )
+    if result.stale_baseline:
+        summary += f", {len(result.stale_baseline)} stale baseline entr(y/ies)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    """The JSON report (stable key order, trailing newline)."""
+    document = {
+        "version": REPORT_VERSION,
+        "files_checked": result.files_checked,
+        "ok": result.ok,
+        "rules": list(result.rule_codes),
+        "summary": {
+            "open": len(result.unsuppressed),
+            "suppressed": len(result.suppressed),
+            "baselined": len(result.baselined),
+            "stale_baseline": len(result.stale_baseline),
+        },
+        "findings": [
+            {
+                "rule": finding.rule,
+                "path": finding.path,
+                "line": finding.line,
+                "column": finding.column + 1,
+                "message": finding.message,
+                "snippet": finding.snippet,
+                "status": _status(finding),
+                "suppression_reason": finding.suppression_reason,
+                "fingerprint": finding.fingerprint,
+            }
+            for finding in result.findings
+        ],
+        "stale_baseline": list(result.stale_baseline),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

@@ -20,11 +20,12 @@ optimality-gap measurement.
 
 from __future__ import annotations
 
+import math
 from typing import Sequence
 
 from repro.catalog.join_graph import JoinGraph
 from repro.catalog.predicates import JoinPredicate
-from repro.cost.base import CostModel, PlanCostDetail
+from repro.cost.base import CostModel, CostOverflowError, PlanCostDetail
 from repro.cost.cardinality import combined_selectivity
 from repro.plans.join_order import JoinOrder
 
@@ -34,7 +35,14 @@ def _unclamped_result(
     inner_size: float,
     predicates: Sequence[JoinPredicate],
 ) -> float:
-    """Expected result size without the one-tuple floor."""
+    """Expected result size without the one-tuple floor.
+
+    Clamping here would make sizes order-dependent and break the
+    subset-determinism that exact DP relies on; overflow is instead
+    rejected at the plan level, where ``plan_cost``/``plan_cost_detail``
+    raise :class:`CostOverflowError` on any non-finite total.
+    """
+    # detlint: ignore[OVF001] -- deliberately unclamped for subset-determinism; plan_cost rejects non-finite totals
     return outer_size * inner_size * combined_selectivity(predicates)
 
 
@@ -62,6 +70,11 @@ class StaticCostModel(CostModel):
             total += self.inner.join_cost(outer_size, inner_size, result)
             placed.append(vertex)
             outer_size = result
+        if not math.isfinite(total):
+            raise CostOverflowError(
+                f"{self.name} cost model produced non-finite plan cost "
+                f"{total!r} for order {order}"
+            )
         return total
 
     def plan_cost_detail(self, order: JoinOrder, graph: JoinGraph) -> PlanCostDetail:
@@ -74,7 +87,13 @@ class StaticCostModel(CostModel):
             predicates = graph.edges_between(placed, vertex)
             inner_size = graph.cardinality(vertex)
             result = _unclamped_result(outer_size, inner_size, predicates)
-            join_costs.append(self.inner.join_cost(outer_size, inner_size, result))
+            cost = self.inner.join_cost(outer_size, inner_size, result)
+            if not math.isfinite(cost):
+                raise CostOverflowError(
+                    f"{self.name} cost model produced non-finite join cost "
+                    f"{cost!r} at position {position} of {order}"
+                )
+            join_costs.append(cost)
             prefix_sizes.append(result)
             placed.append(vertex)
             outer_size = result

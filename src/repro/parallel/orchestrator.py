@@ -50,14 +50,21 @@ import math
 import os
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from multiprocessing.sharedctypes import Synchronized
+
+    from repro.core.optimizer import OptimizationResult
 
 from repro.catalog.join_graph import JoinGraph, Query
 from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
 from repro.core.combinations import MethodParams, Strategy
 from repro.core.state import PER_PLAN
-from repro.cost.base import CostModel
+from repro.cost.base import CostModel, CostOverflowError
 from repro.parallel.bound import SharedBound
 from repro.plans.join_order import JoinOrder
+from repro.robustness.faults import InjectedFault
 from repro.robustness.resilience import (
     FailureLog,
     FailureRecord,
@@ -79,7 +86,7 @@ _SHARED_BOUND: SharedBound | None = None
 _IN_POOL_WORKER = False
 
 
-def _pool_init(raw_bound) -> None:
+def _pool_init(raw_bound: "Synchronized | None") -> None:
     global _SHARED_BOUND, _IN_POOL_WORKER
     _IN_POOL_WORKER = True
     if raw_bound is not None:
@@ -189,7 +196,8 @@ def map_jobs(
                 job = futures[future]
                 try:
                     outcomes[job.index] = future.result()
-                except Exception as exc:  # noqa: BLE001 — any pool failure
+                # boundary: pool failures are logged, the job re-run serially
+                except Exception as exc:  # noqa: BLE001
                     if failure_log is not None:
                         failure_log.add(
                             stage=f"parallel-worker-{job.index}",
@@ -248,7 +256,7 @@ def multi_start_optimize(
     stop_at_bound: bool = False,
     bound_tolerance: float = 1.05,
     crash_indices: tuple[int, ...] = (),
-):
+) -> "tuple[OptimizationResult, ParallelReport]":
     """Multi-start optimization: parallel fan-out, deterministic merge.
 
     Returns ``(result, report)``: the merged
@@ -312,7 +320,9 @@ def multi_start_optimize(
         floor: float | None = model.plan_cost(fallback, graph)
         if not math.isfinite(floor):
             floor = None
-    except Exception:  # noqa: BLE001 — an unpriceable floor disables it
+    except (CostOverflowError, InjectedFault, ValueError):
+        # An unpriceable floor only disables the pre-pass pruning floor;
+        # anything else a model raises is a bug and must propagate.
         floor = None
 
     share = max(1.0, budget.remaining / restarts)

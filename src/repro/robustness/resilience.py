@@ -193,6 +193,8 @@ def _run_guarded(
         strategy.run(evaluator, rng, params)
     except (BudgetExhausted, TargetReached):
         pass
+    # boundary: the chain's core guarantee — a crashing strategy still
+    # surrenders its best-so-far plan, and the error is logged upstream.
     except Exception as exc:
         error = exc
     return evaluator, error
@@ -380,6 +382,7 @@ def _last_resort(
     for attempt in range(2):
         try:
             cost = model.plan_cost(order, graph)
+        # boundary: last-resort pricing must survive arbitrary model faults
         except Exception as exc:
             failures.add(
                 stage=f"last-resort-{attempt + 1}",
@@ -494,6 +497,7 @@ def _resilient_disconnected(
     for attempt in range(2):
         try:
             cost = model.plan_cost(order, graph)
+        # boundary: concatenation pricing must survive arbitrary model faults
         except Exception as exc:
             failures.add(
                 stage=f"concatenation-{attempt + 1}",
@@ -536,5 +540,6 @@ def _safe_final_size(order: JoinOrder, subgraph: JoinGraph) -> float:
     """Estimated component result size; ``inf`` when estimation fails."""
     try:
         return prefix_cardinalities(order, subgraph)[-1]
+    # boundary: sizing is advisory; an unpriceable piece sorts last
     except Exception:
         return math.inf

@@ -92,7 +92,7 @@ def verify_plan(
     else:
         try:
             recomputed = model.plan_cost(order, graph)
-        except Exception as exc:  # a broken model is itself a violation
+        except Exception as exc:  # boundary: a broken model is itself a violation
             violations.append(
                 f"cost recomputation raised {type(exc).__name__}: {exc}"
             )
