@@ -41,12 +41,14 @@ DEFAULT_TOOL_TABLE: dict[str, Any] = {
             "allow": [
                 "src/repro/core/budget.py",
                 "src/repro/cost/calibration.py",
-            ]
+            ],
+            "verified_clean": ["src/repro/obs"],
         },
         "DET003": {
             "include": [
                 "src/repro/core",
                 "src/repro/cost",
+                "src/repro/obs",
                 "src/repro/parallel",
             ]
         },

@@ -20,6 +20,7 @@ import re
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
+from repro.analysis.config import path_matches
 from repro.analysis.findings import Finding, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports rules at runtime
@@ -203,6 +204,16 @@ class WallClockRule(Rule):
     clock read inside the optimizer invalidates both differential
     invariants.  The wall-clock *budget* and the cost-model *calibrator*
     are the two sanctioned, allowlisted consumers.
+
+    Configuration (``[tool.detlint.rules.DET002]``):
+
+    * ``allow`` — the sanctioned consumer modules (engine-level exempt);
+    * ``verified_clean`` — modules whose published *contract* is that
+      they never read the clock (the ``repro.obs`` trace layer stamps
+      events with the logical budget clock precisely so traces are pure
+      functions of the seed).  A wall-clock read there is worse than a
+      plain violation — it silently voids a documented guarantee — so
+      the finding message escalates accordingly.
     """
 
     code: str = "DET002"
@@ -213,6 +224,10 @@ class WallClockRule(Rule):
     )
 
     def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
+        verified_clean = list(
+            ctx.options(self.code).get("verified_clean", [])
+        )
+        in_verified = path_matches(ctx.rel_path, verified_clean)
         imports = ctx.imports
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.Attribute, ast.Name)):
@@ -223,13 +238,21 @@ class WallClockRule(Rule):
                 continue
             origin = imports.resolve(node)
             if origin in _WALL_CLOCK_APIS:
-                yield self.finding(
-                    ctx,
-                    node,
-                    f"wall-clock read {origin} makes behaviour depend "
-                    "on elapsed real time; inject a clock or move the "
-                    "read into an allowlisted module",
-                )
+                if in_verified:
+                    message = (
+                        f"wall-clock read {origin} inside verified-clean "
+                        "module: this module's contract (the trace is a "
+                        "pure function of the seed) forbids clock reads "
+                        "entirely; remove the read or drop the module "
+                        "from [tool.detlint.rules.DET002].verified_clean"
+                    )
+                else:
+                    message = (
+                        f"wall-clock read {origin} makes behaviour depend "
+                        "on elapsed real time; inject a clock or move the "
+                        "read into an allowlisted module"
+                    )
+                yield self.finding(ctx, node, message)
 
 
 # ---------------------------------------------------------------------------

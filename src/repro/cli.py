@@ -129,9 +129,27 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rotated-seed retries per stage of the fallback chain",
     )
 
+    observability = argparse.ArgumentParser(add_help=False)
+    observability.add_argument(
+        "--trace",
+        metavar="FILE.jsonl",
+        default=None,
+        help="record a deterministic trace of the run's search dynamics "
+        "to this JSONL file (read it with `python -m repro.obs "
+        "summarize`); tracing never changes the result or the rng "
+        "stream (see docs/observability.md)",
+    )
+    observability.add_argument(
+        "--metrics",
+        metavar="FILE.json",
+        default=None,
+        help="write the run's metrics registry (counters, gauges, "
+        "histograms) to this JSON file",
+    )
+
     cmd = sub.add_parser(
         "optimize",
-        parents=[common, evaluation, resilience, parallelism],
+        parents=[common, evaluation, resilience, parallelism, observability],
         help="optimize one query",
     )
     cmd.add_argument("--method", default="IAI", help="optimization method")
@@ -175,7 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
 
     cmd = sub.add_parser(
         "sql",
-        parents=[evaluation, resilience, parallelism],
+        parents=[evaluation, resilience, parallelism, observability],
         help="optimize a SQL query against a catalog",
     )
     cmd.add_argument("query", help="SQL text (quote the whole query)")
@@ -193,6 +211,35 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _make_tracer(args: argparse.Namespace):
+    """A recording tracer when ``--trace``/``--metrics`` asked for one."""
+    if args.trace is None and args.metrics is None:
+        return None
+    from repro.obs import RecordingTracer
+
+    return RecordingTracer()
+
+
+def _flush_observability(tracer, args: argparse.Namespace, result) -> None:
+    """Write the trace/metrics files the flags requested."""
+    if tracer is None:
+        return
+    from repro.obs import write_metrics, write_trace
+
+    if args.trace is not None:
+        write_trace(
+            tracer.events,
+            args.trace,
+            meta={
+                "method": result.method,
+                "n_relations": result.graph.n_relations,
+                "seed": args.seed,
+            },
+        )
+    if args.metrics is not None:
+        write_metrics(tracer.metrics, args.metrics)
+
+
 def _report_degradation(result) -> int:
     """Print the failure log to stderr; return the appropriate exit code."""
     if not result.degraded:
@@ -208,6 +255,7 @@ def _report_degradation(result) -> int:
 def _cmd_optimize(args: argparse.Namespace) -> int:
     spec = benchmark_spec(args.benchmark)
     query = generate_query(spec, args.joins, args.seed)
+    tracer = _make_tracer(args)
     result = optimize(
         query,
         method=args.method,
@@ -220,7 +268,9 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         budget_accounting=args.budget_accounting,
         workers=args.workers,
         restarts=args.restarts,
+        trace=tracer,
     )
+    _flush_observability(tracer, args, result)
     print(f"query          : {query.name} (N={query.n_joins})")
     print(f"method         : {result.method}")
     print(f"plan cost      : {result.cost:,.0f}")
@@ -356,6 +406,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
 
     catalog = StatsCatalog.from_json(args.catalog)
     query = parse_query(args.query, catalog)
+    tracer = _make_tracer(args)
     result = optimize(
         query,
         method=args.method,
@@ -368,7 +419,9 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         budget_accounting=args.budget_accounting,
         workers=args.workers,
         restarts=args.restarts,
+        trace=tracer,
     )
+    _flush_observability(tracer, args, result)
     print(f"relations : {query.graph.n_relations}  joins: {query.n_joins}")
     print(f"method    : {result.method}")
     print(f"plan cost : {result.cost:,.0f}")

@@ -27,6 +27,7 @@ from typing import Callable
 from repro.core.budget import BudgetExhausted
 from repro.core.moves import MoveSet, NoValidMove
 from repro.core.state import Evaluation, Evaluator
+from repro.obs import events as obs_events
 from repro.plans.join_order import JoinOrder
 
 
@@ -144,6 +145,7 @@ def simulated_annealing(
     if schedule is None:
         schedule = AnnealingSchedule()
     graph = evaluator.graph
+    tracer = evaluator.tracer
     chain_length = schedule.size_factor * graph.n_relations
     try:
         current = start
@@ -194,8 +196,29 @@ def simulated_annealing(
                     if current_cost < best.cost:
                         best = Evaluation(current, current_cost)
                         chains_without_improvement = -1
+                if tracer.enabled:
+                    if accept:
+                        outcome = obs_events.ACCEPTED
+                        tracer.metrics.inc("moves_accepted")
+                    elif neighbor_cost is None:
+                        outcome = obs_events.PRUNED
+                        tracer.metrics.inc("moves_pruned")
+                    else:
+                        outcome = obs_events.REJECTED
+                        tracer.metrics.inc("moves_rejected")
+                    tracer.emit(obs_events.MOVE, outcome=outcome)
             chains_without_improvement += 1
             acceptance_ratio = accepted / chain_length
+            if tracer.enabled:
+                tracer.emit(
+                    obs_events.CHAIN,
+                    index=chain_index,
+                    temperature=temperature,
+                    acceptance=acceptance_ratio,
+                    best_cost=best.cost,
+                )
+                tracer.metrics.inc("sa_chains")
+                tracer.metrics.observe("sa_acceptance_ratio", acceptance_ratio)
             if observer is not None:
                 observer(
                     ChainStats(

@@ -50,6 +50,7 @@ from repro.core.kbz import DEFAULT_WEIGHT, kbz_orders
 from repro.core.local_improvement import best_strategy_for_budget, local_improve
 from repro.core.moves import MoveSet
 from repro.core.state import Evaluation, Evaluator, PER_PLAN
+from repro.obs import events as obs_events
 from repro.plans.join_order import JoinOrder
 from repro.plans.validity import random_valid_order
 
@@ -173,8 +174,12 @@ class SimulatedAnnealingStrategy(Strategy):
         return self._random_starts(evaluator, rng)
 
     def run(self, evaluator, rng, params):
+        tracer = evaluator.tracer
         try:
-            for start in self._starts(evaluator, rng, params):
+            for index, start in enumerate(self._starts(evaluator, rng, params)):
+                if tracer.enabled:
+                    tracer.emit(obs_events.RESTART, index=index)
+                    tracer.metrics.inc("restarts")
                 simulated_annealing(
                     start,
                     evaluator,
@@ -226,6 +231,7 @@ class TwoPhaseStrategy(Strategy):
     ii_share = 0.7
 
     def run(self, evaluator, rng, params):
+        tracer = evaluator.tracer
         ii_budget = evaluator.budget.remaining * self.ii_share
         ii_limit = evaluator.budget.spent + ii_budget
         starts = itertools.chain(
@@ -235,6 +241,8 @@ class TwoPhaseStrategy(Strategy):
             self._random_starts(evaluator, rng),
         )
         best: Evaluation | None = None
+        if tracer.enabled:
+            tracer.phase_start("ii_phase", share=self.ii_share)
         try:
             for start in starts:
                 local = improvement_run(
@@ -246,10 +254,15 @@ class TwoPhaseStrategy(Strategy):
                     break
         except BudgetExhausted:
             return
+        finally:
+            if tracer.enabled:
+                tracer.phase_end("ii_phase")
         if best is None:
             return
         # Phase 2: a cool anneal around the best minimum.
         schedule = replace(params.schedule, initial_acceptance=0.05)
+        if tracer.enabled:
+            tracer.phase_start("anneal_phase")
         try:
             simulated_annealing(
                 best.order,
@@ -261,6 +274,9 @@ class TwoPhaseStrategy(Strategy):
             )
         except BudgetExhausted:
             pass
+        finally:
+            if tracer.enabled:
+                tracer.phase_end("anneal_phase")
 
 
 # ----------------------------------------------------------------------
@@ -314,8 +330,11 @@ class IALStrategy(Strategy):
 
     def run(self, evaluator, rng, params):
         graph = evaluator.graph
+        tracer = evaluator.tracer
         best: Evaluation | None = None
         try:
+            if tracer.enabled:
+                tracer.phase_start("heuristic_ii")
             for start in augmentation_orders(
                 graph, params.augmentation_criterion, evaluator.budget
             ):
@@ -324,6 +343,8 @@ class IALStrategy(Strategy):
                 )
                 if local is not None and (best is None or local.cost < best.cost):
                     best = local
+            if tracer.enabled:
+                tracer.phase_end("heuristic_ii")
             # Augmentation states exhausted: polish the best local minimum
             # with the strongest local-improvement pass that still fits.
             while best is not None:
@@ -363,11 +384,17 @@ class AGIStrategy(Strategy):
         )
 
     def run(self, evaluator, rng, params):
+        tracer = evaluator.tracer
+        if tracer.enabled:
+            tracer.phase_start("heuristic_seed")
         try:
             for order in self._heuristic_starts(evaluator, params):
                 evaluator.evaluate(order)
         except BudgetExhausted:
             return
+        finally:
+            if tracer.enabled:
+                tracer.phase_end("heuristic_seed")
         multi_start_improvement(
             self._random_starts(evaluator, rng),
             evaluator,

@@ -18,6 +18,7 @@ import random
 from repro.core.budget import BudgetExhausted
 from repro.core.moves import MoveSet, NoValidMove
 from repro.core.state import Evaluation, Evaluator
+from repro.obs import events as obs_events
 from repro.plans.join_order import JoinOrder
 
 
@@ -55,6 +56,8 @@ def improvement_run(
     """
     if patience is None:
         patience = default_patience(evaluator.graph.n_relations)
+    tracer = evaluator.tracer
+    depth = 0  # accepted moves this descent (improvement_depth histogram)
     current = start
     if start_cost is None:
         if evaluator.record_floor is not None:
@@ -90,8 +93,30 @@ def improvement_run(
             evaluator.commit_candidate(neighbor)
             current, current_cost = neighbor, neighbor_cost
             failures = 0
+            depth += 1
+            if tracer.enabled:
+                tracer.emit(
+                    obs_events.MOVE,
+                    outcome=obs_events.ACCEPTED,
+                    cost=neighbor_cost,
+                )
+                tracer.metrics.inc("moves_accepted")
         else:
             failures += 1
+            if tracer.enabled:
+                outcome = (
+                    obs_events.PRUNED
+                    if neighbor_cost is None
+                    else obs_events.REJECTED
+                )
+                tracer.emit(obs_events.MOVE, outcome=outcome)
+                tracer.metrics.inc(
+                    "moves_pruned"
+                    if neighbor_cost is None
+                    else "moves_rejected"
+                )
+    if tracer.enabled:
+        tracer.metrics.observe("improvement_depth", float(depth))
     return Evaluation(current, current_cost)
 
 
@@ -111,8 +136,12 @@ def multi_start_improvement(
     way).
     """
     best: Evaluation | None = None
+    tracer = evaluator.tracer
     try:
-        for start in starts:
+        for index, start in enumerate(starts):
+            if tracer.enabled:
+                tracer.emit(obs_events.RESTART, index=index)
+                tracer.metrics.inc("restarts")
             local = improvement_run(
                 start, evaluator, move_set, rng, patience=patience
             )

@@ -21,6 +21,7 @@ from itertools import permutations
 from repro.catalog.join_graph import JoinGraph
 from repro.core.budget import BudgetExhausted
 from repro.core.state import Evaluation, Evaluator
+from repro.obs import events as obs_events
 from repro.plans.validity import is_valid_order
 
 #: The paper's feasible strategies, strongest (most expensive) first.
@@ -87,6 +88,7 @@ def improve_pass(
     budget runs out; everything evaluated so far is recorded.
     """
     graph: JoinGraph = evaluator.graph
+    tracer = evaluator.tracer
     n = graph.n_relations
     check_strategy(cluster_size, overlap, n)
     current = start
@@ -116,6 +118,14 @@ def improve_pass(
             )
             if cost is not None and cost < best_in_window.cost:
                 best_in_window = Evaluation(candidate, cost)
+        if tracer.enabled and best_in_window is not current:
+            tracer.emit(
+                obs_events.MOVE,
+                outcome=obs_events.ACCEPTED,
+                cost=best_in_window.cost,
+                window=position,
+            )
+            tracer.metrics.inc("moves_accepted")
         current = best_in_window
         position += step
     return current
@@ -136,6 +146,11 @@ def local_improve(
     """
     current = start
     passes = 0
+    tracer = evaluator.tracer
+    if tracer.enabled:
+        tracer.phase_start(
+            "local_improve", cluster=cluster_size, overlap=overlap
+        )
     try:
         while True:
             improved = improve_pass(current, evaluator, cluster_size, overlap)
@@ -148,5 +163,8 @@ def local_improve(
                 break
     except BudgetExhausted:
         if evaluator.best is not None and evaluator.best.cost < current.cost:
-            return evaluator.best
+            current = evaluator.best
+    finally:
+        if tracer.enabled:
+            tracer.phase_end("local_improve", passes=passes)
     return current

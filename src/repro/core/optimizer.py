@@ -28,6 +28,9 @@ from repro.cost.base import CostModel
 from repro.cost.bounds import lower_bound
 from repro.cost.cardinality import prefix_cardinalities
 from repro.cost.memory import MainMemoryCostModel
+from repro.obs import events as obs_events
+from repro.obs.tracer import Tracer, as_tracer
+from repro.obs.writer import write_trace
 from repro.plans.join_order import JoinOrder
 from repro.plans.join_tree import JoinTree, build_join_tree
 from repro.utils.rng import derive_rng
@@ -88,6 +91,7 @@ def _optimize_connected(
     incremental: bool = True,
     budget_accounting: str = PER_PLAN,
     record_floor: float | None = None,
+    tracer: Tracer | None = None,
 ) -> Evaluator:
     """Run one strategy on a connected graph; returns its evaluator."""
     strategy = make_strategy(method)
@@ -113,6 +117,8 @@ def _optimize_connected(
             graph, model, budget, target_cost=target_cost,
             record_floor=record_floor,
         )
+    if tracer is not None:
+        evaluator.tracer = tracer
     if graph.n_relations == 1:
         evaluator.best = None
         return evaluator
@@ -141,6 +147,7 @@ def optimize(
     workers: int | None = None,
     restarts: int | None = None,
     record_floor: float | None = None,
+    trace: Tracer | str | None = None,
 ) -> OptimizationResult:
     """Optimize a join query with one of the paper's methods.
 
@@ -200,6 +207,15 @@ def optimize(
         A trusted upper bound on the cost that still matters: start
         states pricier than the floor are skipped.  Set by the
         orchestrator to its pre-pass floor; rarely useful directly.
+    trace:
+        Observability sink (see :mod:`repro.obs`).  ``None`` (default)
+        keeps the no-op backend — the run pays one attribute check per
+        hook.  A :class:`~repro.obs.tracer.Tracer` records events and
+        metrics in memory; a string/path records and writes the trace as
+        JSONL to that file when the run completes.  Tracing is
+        determinism-safe: it never charges the budget, draws from an
+        RNG, or alters control flow, so a traced run returns a
+        bit-identical result to an untraced one.
 
     Every returned plan — resilient or not — passes the verification gate
     (:func:`repro.robustness.verify.verify_plan`): the order is a valid
@@ -217,6 +233,20 @@ def optimize(
     target_cost = (
         bound_tolerance * lower_bound(graph, model) if stop_at_bound else None
     )
+    tracer, trace_path = as_tracer(trace)
+    if tracer.enabled:
+        tracer.bind_clock(budget)
+        tracer.emit(
+            obs_events.RUN_START,
+            method=_method_label(method),
+            n_relations=graph.n_relations,
+            seed=seed,
+            budget=budget.limit,
+        )
+        tracer.metrics.gauge("budget_limit", budget.limit)
+        if target_cost is not None:
+            tracer.emit(obs_events.BOUND, kind="early_stop", value=target_cost)
+            tracer.metrics.inc("bounds_published")
 
     if workers is not None or restarts is not None:
         if resilient:
@@ -243,15 +273,16 @@ def optimize(
             budget_accounting=budget_accounting,
             stop_at_bound=stop_at_bound,
             bound_tolerance=bound_tolerance,
+            tracer=tracer,
         )
-        return result
+        return _finish_trace(result, tracer, trace_path, budget)
 
     if resilient:
         # Imported lazily: robustness is a layer above core and importing
         # it at module scope would be circular.
         from repro.robustness.resilience import resilient_optimize
 
-        return resilient_optimize(
+        result = resilient_optimize(
             graph,
             method=method,
             model=model,
@@ -260,7 +291,9 @@ def optimize(
             params=params,
             target_cost=target_cost,
             max_retries=max_retries,
+            tracer=tracer,
         )
+        return _finish_trace(result, tracer, trace_path, budget)
 
     if graph.is_connected:
         evaluator = _optimize_connected(
@@ -274,6 +307,7 @@ def optimize(
             incremental=incremental,
             budget_accounting=budget_accounting,
             record_floor=record_floor,
+            tracer=tracer,
         )
         if evaluator.best is None:
             raise BudgetExhausted(
@@ -298,10 +332,38 @@ def optimize(
             params,
             incremental=incremental,
             budget_accounting=budget_accounting,
+            tracer=tracer,
         )
     from repro.robustness.verify import verify_or_raise
 
     verify_or_raise(result.order, result.cost, graph, model)
+    return _finish_trace(result, tracer, trace_path, budget)
+
+
+def _finish_trace(
+    result: OptimizationResult,
+    tracer: Tracer,
+    trace_path: str | None,
+    budget: Budget,
+) -> OptimizationResult:
+    """Emit the run's closing event and flush the file sink, if any."""
+    if tracer.enabled:
+        tracer.bind_clock(budget)
+        tracer.emit(
+            obs_events.RUN_END,
+            cost=result.cost,
+            units=result.units_spent,
+            evaluations=result.n_evaluations,
+            degraded=result.degraded,
+        )
+        tracer.metrics.gauge("best_cost", result.cost)
+        tracer.metrics.gauge("budget_spent", budget.spent)
+        if trace_path is not None:
+            write_trace(
+                getattr(tracer, "events", []),
+                trace_path,
+                meta={"method": result.method, "n_relations": result.graph.n_relations},
+            )
     return result
 
 
@@ -314,6 +376,7 @@ def _optimize_disconnected(
     params: MethodParams,
     incremental: bool = True,
     budget_accounting: str = PER_PLAN,
+    tracer: Tracer | None = None,
 ) -> OptimizationResult:
     """Postpone cross products: per-component search, then concatenation.
 
@@ -335,6 +398,8 @@ def _optimize_disconnected(
             pieces.append((subgraph.cardinality(0), list(component)))
             continue
         share = Budget(limit=max(1.0, budget.remaining * weight / total_weight))
+        if tracer is not None and tracer.enabled:
+            tracer.phase_start("component", relations=len(component))
         result = optimize(
             subgraph,
             method=method,
@@ -344,8 +409,13 @@ def _optimize_disconnected(
             params=params,
             incremental=incremental,
             budget_accounting=budget_accounting,
+            trace=tracer,
         )
         budget.spent = min(budget.limit, budget.spent + share.spent)
+        if tracer is not None and tracer.enabled:
+            # The nested run re-bound the clock to its share; restore it.
+            tracer.bind_clock(budget)
+            tracer.phase_end("component", relations=len(component))
         n_evaluations += result.n_evaluations
         local_order = [component[i] for i in result.order]
         sizes = prefix_cardinalities(result.order, subgraph)

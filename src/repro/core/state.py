@@ -32,6 +32,8 @@ from repro.catalog.join_graph import JoinGraph
 from repro.core.budget import Budget, BudgetExhausted
 from repro.cost.base import CostModel
 from repro.cost.incremental import IncrementalEvaluator, supports_incremental
+from repro.obs import events as obs_events
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plans.join_order import JoinOrder
 
 #: Budget-accounting modes accepted by :class:`DeltaEvaluator`.
@@ -87,6 +89,12 @@ class Evaluator:
         self.n_evaluations = 0
         self.best: Evaluation | None = None
         self.trajectory: list[tuple[float, float]] = []
+        #: Observability backend.  The default is the no-op
+        #: :data:`~repro.obs.tracer.NULL_TRACER`; every hook below is
+        #: guarded by one ``tracer.enabled`` attribute check, so tracing
+        #: costs nothing when off and never perturbs the run when on
+        #: (events read the budget clock, they never charge it).
+        self.tracer: Tracer = NULL_TRACER
 
     def evaluate(self, order: JoinOrder) -> float:
         """Cost of ``order``; charges ``n_joins`` units; updates the best.
@@ -98,6 +106,11 @@ class Evaluator:
         self.budget.charge(float(self.graph.n_joins))
         cost = self.model.plan_cost(order, self.graph)
         self.n_evaluations += 1
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.inc("evaluations")
+            metrics.inc("joins_walked", float(self.graph.n_joins))
+            metrics.inc("joins_charged", float(self.graph.n_joins))
         self._record(order, cost)
         self._check_target()
         return cost
@@ -155,6 +168,10 @@ class Evaluator:
         if self.best is None or cost < self.best.cost:
             self.best = Evaluation(order, cost)
             self.trajectory.append((self.budget.spent, cost))
+            if self.tracer.enabled:
+                self.tracer.emit(obs_events.BEST, cost=cost)
+                self.tracer.metrics.inc("best_updates")
+                self.tracer.metrics.gauge("best_cost", cost)
 
     def best_cost_within(self, units: float) -> float | None:
         """Best cost found by the time ``units`` had been spent.
@@ -242,6 +259,8 @@ class DeltaEvaluator(Evaluator):
             self.budget.charge(max(1.0, float(joins)))
         self.n_joins_evaluated += joins
         self.n_evaluations += 1
+        if self.tracer.enabled:
+            self._trace_evaluation(joins, pruned=False)
         self._record(order, cost)
         self._check_target()
         return cost
@@ -269,8 +288,24 @@ class DeltaEvaluator(Evaluator):
             self.n_pruned += 1
         else:
             self._record(order, cost)
+        if self.tracer.enabled:
+            self._trace_evaluation(joins, pruned=cost is None)
         self._check_target()
         return cost
+
+    def _trace_evaluation(self, joins: int, pruned: bool) -> None:
+        """Cold path: metric updates for one engine evaluation."""
+        metrics = self.tracer.metrics
+        metrics.inc("evaluations")
+        metrics.inc("joins_walked", float(joins))
+        metrics.inc(
+            "joins_charged",
+            float(self.graph.n_joins)
+            if self.charge_mode == PER_PLAN
+            else max(1.0, float(joins)),
+        )
+        if pruned:
+            metrics.inc("pruned")
 
     def commit_candidate(self, order: JoinOrder) -> None:
         self.engine.commit(order.positions)

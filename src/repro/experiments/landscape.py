@@ -11,6 +11,11 @@ minima"*.  This module provides the instruments for that investigation:
 * :func:`local_minima_census` — an exhaustive census of local minima
   (and how deep they are) on small graphs, under the search move set;
 * :func:`summarize` — descriptive statistics of a cost sample.
+
+Terminology note: a cost *sample* here is a distribution over the
+solution space, not a record of one search's path.  For the structured
+event log of a single optimizer run (moves, phases, restarts), see the
+``repro.obs`` *trace* layer and :doc:`docs/observability.md`.
 """
 
 from __future__ import annotations

@@ -1,0 +1,72 @@
+"""repro.obs — deterministic tracing and metrics for the optimizer stack.
+
+The package gives every optimizer run an optional structured record of
+its search dynamics (a *trace* of events stamped with the logical
+budget clock) plus an aggregate *metrics* registry — without ever
+perturbing the run itself.  The determinism contract, event schema, and
+metrics catalog live in ``docs/observability.md``; the contract in one
+line: **a traced run is bit-identical to an untraced one, and a seeded
+run's trace is a pure function of its seed.**
+
+Entry points::
+
+    optimize(query, method="SA", seed=1, trace="run.jsonl")   # file sink
+    tracer = RecordingTracer()
+    optimize(query, method="SA", seed=1, trace=tracer)        # in memory
+    python -m repro.obs summarize run.jsonl                   # reader CLI
+"""
+
+from repro.obs.events import (
+    ACCEPTED,
+    EVENT_KINDS,
+    MOVE_OUTCOMES,
+    PRUNED,
+    REJECTED,
+    TraceEvent,
+    TraceFormatError,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
+from repro.obs.summarize import (
+    TraceSummary,
+    diff_traces,
+    render_summary,
+    summarize_events,
+)
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer, as_tracer
+from repro.obs.writer import (
+    TRACE_VERSION,
+    iter_trace,
+    read_metrics,
+    read_trace,
+    read_trace_meta,
+    write_metrics,
+    write_trace,
+)
+
+__all__ = [
+    "ACCEPTED",
+    "DEFAULT_BUCKETS",
+    "EVENT_KINDS",
+    "Histogram",
+    "Metrics",
+    "MOVE_OUTCOMES",
+    "NULL_TRACER",
+    "PRUNED",
+    "REJECTED",
+    "RecordingTracer",
+    "TRACE_VERSION",
+    "TraceEvent",
+    "TraceFormatError",
+    "TraceSummary",
+    "Tracer",
+    "as_tracer",
+    "diff_traces",
+    "iter_trace",
+    "read_metrics",
+    "read_trace",
+    "read_trace_meta",
+    "render_summary",
+    "summarize_events",
+    "write_metrics",
+    "write_trace",
+]

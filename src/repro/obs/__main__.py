@@ -1,0 +1,85 @@
+"""Reader CLI: ``python -m repro.obs summarize|diff``.
+
+``summarize TRACE.jsonl`` prints a per-kind/per-phase report and exits
+0; ``diff A.jsonl B.jsonl`` exits 0 when the traces are bit-identical
+and 1 with a divergence report when they are not (the CI determinism
+gate is literally this command).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Sequence
+
+from repro.obs.events import TraceFormatError
+from repro.obs.summarize import diff_traces, render_summary, summarize_events
+from repro.obs.writer import iter_trace, read_trace, read_trace_meta
+
+EXIT_OK = 0
+EXIT_DIFFERS = 1
+EXIT_USAGE = 2
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Read repro.obs trace files (JSONL).",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    summarize = commands.add_parser(
+        "summarize", help="print an aggregate report of one trace"
+    )
+    summarize.add_argument("trace", help="path to a .jsonl trace file")
+
+    diff = commands.add_parser(
+        "diff", help="compare two traces event-by-event"
+    )
+    diff.add_argument("left", help="first trace file")
+    diff.add_argument("right", help="second trace file")
+    diff.add_argument(
+        "--max-report",
+        type=int,
+        default=10,
+        help="stop after this many reported differences (default: 10)",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            with open(args.trace, "r", encoding="utf-8") as handle:
+                summary = summarize_events(iter_trace(handle))
+            print(render_summary(summary, read_trace_meta(args.trace)))
+            return EXIT_OK
+        differences = diff_traces(
+            read_trace(args.left),
+            read_trace(args.right),
+            max_report=args.max_report,
+        )
+        if not differences:
+            print("traces are identical")
+            return EXIT_OK
+        for line in differences:
+            print(line)
+        return EXIT_DIFFERS
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except TraceFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    except BrokenPipeError:
+        # Reader closed early (e.g. `summarize trace | head`): not an
+        # error.  Point stdout at devnull so the interpreter's exit
+        # flush cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Trace readers: the ``summarize`` table and the ``diff`` comparator.
+
+Pure consumers of the JSONL format :mod:`repro.obs.writer` emits —
+nothing here imports the optimizer, so the reader CLI works on trace
+files shipped from elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping, Sequence
+
+from repro.obs import events as ev
+from repro.obs.events import TraceEvent
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates one trace into the quantities ``summarize`` prints."""
+
+    n_events: int = 0
+    kinds: dict[str, int] = field(default_factory=dict)
+    move_outcomes: dict[str, int] = field(default_factory=dict)
+    phases: dict[str, dict[str, float]] = field(default_factory=dict)
+    chains: int = 0
+    acceptance_sum: float = 0.0
+    restarts: int = 0
+    workers: set[int] = field(default_factory=set)
+    bounds: int = 0
+    faults: int = 0
+    degraded: int = 0
+    best_updates: int = 0
+    final_cost: float | None = None
+    final_units: float | None = None
+    run_meta: dict[str, Any] = field(default_factory=dict)
+    clock_span: float = 0.0
+
+    @property
+    def mean_acceptance(self) -> float:
+        return self.acceptance_sum / self.chains if self.chains else 0.0
+
+
+def summarize_events(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Fold a stream of events into a :class:`TraceSummary` (streaming)."""
+    summary = TraceSummary()
+    open_phases: dict[tuple[int | None, str], float] = {}
+    for event in events:
+        summary.n_events += 1
+        summary.kinds[event.kind] = summary.kinds.get(event.kind, 0) + 1
+        if event.clock > summary.clock_span:
+            summary.clock_span = event.clock
+        if event.worker is not None:
+            summary.workers.add(event.worker)
+        if event.kind == ev.RUN_START:
+            summary.run_meta = dict(event.data)
+        elif event.kind == ev.RUN_END:
+            cost = event.data.get("cost")
+            units = event.data.get("units")
+            summary.final_cost = float(cost) if cost is not None else None
+            summary.final_units = float(units) if units is not None else None
+        elif event.kind == ev.MOVE:
+            outcome = str(event.data.get("outcome", "unknown"))
+            summary.move_outcomes[outcome] = (
+                summary.move_outcomes.get(outcome, 0) + 1
+            )
+        elif event.kind == ev.BEST:
+            summary.best_updates += 1
+        elif event.kind == ev.CHAIN:
+            summary.chains += 1
+            summary.acceptance_sum += float(event.data.get("acceptance", 0.0))
+        elif event.kind == ev.RESTART:
+            summary.restarts += 1
+        elif event.kind == ev.BOUND:
+            summary.bounds += 1
+        elif event.kind == ev.FAULT:
+            summary.faults += 1
+        elif event.kind == ev.DEGRADED:
+            summary.degraded += 1
+        elif event.kind == ev.PHASE_START:
+            key = (event.worker, str(event.data.get("phase", "?")))
+            open_phases[key] = event.clock
+        elif event.kind == ev.PHASE_END:
+            key = (event.worker, str(event.data.get("phase", "?")))
+            started = open_phases.pop(key, None)
+            stats = summary.phases.setdefault(
+                key[1], {"count": 0.0, "units": 0.0}
+            )
+            stats["count"] += 1
+            if started is not None:
+                stats["units"] += event.clock - started
+    return summary
+
+
+def render_summary(
+    summary: TraceSummary, meta: Mapping[str, Any] | None = None
+) -> str:
+    """The human-readable ``summarize`` report, as one string."""
+    lines: list[str] = []
+    header = dict(meta or {})
+    header.update(summary.run_meta)
+    if header:
+        described = ", ".join(
+            f"{key}={header[key]}" for key in sorted(header)
+        )
+        lines.append(f"run: {described}")
+    lines.append(
+        f"events: {summary.n_events}  "
+        f"clock span: {summary.clock_span:g} units"
+    )
+    if summary.kinds:
+        ordered = [k for k in ev.EVENT_KINDS if k in summary.kinds]
+        ordered += sorted(set(summary.kinds) - set(ev.EVENT_KINDS))
+        lines.append("by kind:")
+        for kind in ordered:
+            lines.append(f"  {kind:<12} {summary.kinds[kind]}")
+    total_moves = sum(summary.move_outcomes.values())
+    if total_moves:
+        lines.append(f"moves: {total_moves}")
+        for outcome in sorted(summary.move_outcomes):
+            count = summary.move_outcomes[outcome]
+            lines.append(
+                f"  {outcome:<12} {count} ({count / total_moves:.1%})"
+            )
+    if summary.chains:
+        lines.append(
+            f"sa chains: {summary.chains}  "
+            f"mean acceptance: {summary.mean_acceptance:.3f}"
+        )
+    if summary.phases:
+        lines.append("phases:")
+        for name in sorted(summary.phases):
+            stats = summary.phases[name]
+            lines.append(
+                f"  {name:<20} x{int(stats['count'])}  "
+                f"{stats['units']:g} units"
+            )
+    if summary.workers:
+        lines.append(
+            f"restarts merged: {len(summary.workers)} "
+            f"(indices {min(summary.workers)}..{max(summary.workers)})"
+        )
+    if summary.faults or summary.degraded:
+        lines.append(
+            f"faults: {summary.faults}  degraded runs: {summary.degraded}"
+        )
+    if summary.best_updates:
+        lines.append(f"best-cost updates: {summary.best_updates}")
+    if summary.final_cost is not None:
+        units = (
+            f"  units: {summary.final_units:g}"
+            if summary.final_units is not None
+            else ""
+        )
+        lines.append(f"final cost: {summary.final_cost:g}{units}")
+    return "\n".join(lines)
+
+
+def diff_traces(
+    left: Sequence[TraceEvent],
+    right: Sequence[TraceEvent],
+    max_report: int = 10,
+) -> list[str]:
+    """Describe where two traces diverge (empty list == identical).
+
+    Compares event-by-event on the full tuple (seq, clock, kind, worker,
+    data) — the bit-identity the determinism contract promises for equal
+    seeds, so *any* line here is a determinism violation worth a bug
+    report.
+    """
+    differences: list[str] = []
+    common = min(len(left), len(right))
+    for index in range(common):
+        if len(differences) >= max_report:
+            differences.append("... (further differences suppressed)")
+            return differences
+        a, b = left[index], right[index]
+        if a != b:
+            differences.append(
+                f"event {index}: "
+                f"{a.kind}@{a.clock:g}{_worker_tag(a)} {dict(a.data)!r} != "
+                f"{b.kind}@{b.clock:g}{_worker_tag(b)} {dict(b.data)!r}"
+            )
+    if len(left) != len(right):
+        differences.append(
+            f"length: {len(left)} events vs {len(right)} events"
+        )
+    return differences
+
+
+def _worker_tag(event: TraceEvent) -> str:
+    return f"/w{event.worker}" if event.worker is not None else ""

@@ -62,6 +62,10 @@ from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
 from repro.core.combinations import MethodParams, Strategy
 from repro.core.state import PER_PLAN
 from repro.cost.base import CostModel, CostOverflowError
+from repro.obs import events as obs_events
+from repro.obs.events import TraceEvent
+from repro.obs.metrics import Metrics
+from repro.obs.tracer import RecordingTracer, Tracer
 from repro.parallel.bound import SharedBound
 from repro.plans.join_order import JoinOrder
 from repro.robustness.faults import InjectedFault
@@ -119,6 +123,10 @@ class OptimizeJob:
     stop_at_bound: bool = False
     bound_tolerance: float = 1.05
     crash: bool = False
+    #: Record a worker-local trace and ship it back on the outcome.  A
+    #: bool (not a tracer object) so the job stays picklable; the parent
+    #: merges the shipped events deterministically by restart index.
+    trace: bool = False
 
 
 @dataclass(frozen=True)
@@ -130,6 +138,10 @@ class JobOutcome:
     result: object | None  # OptimizationResult | None
     units_spent: float
     error: str | None = None
+    #: Worker-local trace events (empty unless the job asked to trace).
+    events: tuple[TraceEvent, ...] = ()
+    #: Worker-local metrics snapshot (JSON-safe; crosses the pool pickle).
+    metrics: dict | None = None
 
 
 def run_job(job: OptimizeJob) -> JobOutcome:
@@ -141,6 +153,7 @@ def run_job(job: OptimizeJob) -> JobOutcome:
     from repro.core.optimizer import optimize
 
     budget = Budget(limit=job.limit) if job.limit is not None else None
+    tracer = RecordingTracer() if job.trace else None
     try:
         result = optimize(
             job.graph,
@@ -156,6 +169,7 @@ def run_job(job: OptimizeJob) -> JobOutcome:
             incremental=job.incremental,
             budget_accounting=job.budget_accounting,
             record_floor=job.record_floor,
+            trace=tracer,
         )
     except BudgetExhausted as exc:
         if budget is not None:
@@ -164,10 +178,18 @@ def run_job(job: OptimizeJob) -> JobOutcome:
             spent = Budget.for_query(
                 max(1, job.graph.n_joins), job.time_factor, job.units_per_n2
             ).limit
-        return JobOutcome(job.index, job.tag, None, spent, str(exc))
+        return JobOutcome(
+            job.index, job.tag, None, spent, str(exc),
+            events=tuple(tracer.events) if tracer is not None else (),
+            metrics=tracer.metrics.snapshot() if tracer is not None else None,
+        )
     if _SHARED_BOUND is not None:
         _SHARED_BOUND.publish(result.cost)
-    return JobOutcome(job.index, job.tag, result, result.units_spent, None)
+    return JobOutcome(
+        job.index, job.tag, result, result.units_spent, None,
+        events=tuple(tracer.events) if tracer is not None else (),
+        metrics=tracer.metrics.snapshot() if tracer is not None else None,
+    )
 
 
 def map_jobs(
@@ -256,6 +278,7 @@ def multi_start_optimize(
     stop_at_bound: bool = False,
     bound_tolerance: float = 1.05,
     crash_indices: tuple[int, ...] = (),
+    tracer: Tracer | None = None,
 ) -> "tuple[OptimizationResult, ParallelReport]":
     """Multi-start optimization: parallel fan-out, deterministic merge.
 
@@ -270,6 +293,13 @@ def multi_start_optimize(
     a restart's outcome is a pure function of ``(seed, k, share)`` and
     never of which process ran it when.  ``crash_indices`` marks
     restarts that kill their pool worker mid-job (test hook).
+
+    With a recording ``tracer``, every restart records a worker-local
+    trace (shipped back through the pool as plain events) and the parent
+    lays them end to end in restart-index order — never completion
+    order — with each restart's clocks offset by the units spent before
+    it, exactly like the merged trajectory.  The merged trace is
+    therefore identical for every worker count, crashes included.
     """
     from repro.core.optimizer import (
         OptimizationResult,
@@ -324,6 +354,10 @@ def multi_start_optimize(
         # An unpriceable floor only disables the pre-pass pruning floor;
         # anything else a model raises is a bug and must propagate.
         floor = None
+    tracing = tracer is not None and tracer.enabled
+    if tracing and floor is not None:
+        tracer.emit(obs_events.BOUND, kind="prepass_floor", value=floor)
+        tracer.metrics.inc("bounds_published")
 
     share = max(1.0, budget.remaining / restarts)
     jobs = [
@@ -344,6 +378,7 @@ def multi_start_optimize(
             stop_at_bound=stop_at_bound,
             bound_tolerance=bound_tolerance,
             crash=(k in crash_indices),
+            trace=tracing,
         )
         for k in range(restarts)
     ]
@@ -383,6 +418,34 @@ def multi_start_optimize(
     offset = prepass_mark
     total_evaluations = 1 if floor is not None else 0
     for outcome in outcomes:
+        if tracing and isinstance(tracer, RecordingTracer):
+            # The trace merge mirrors the trajectory merge exactly: the
+            # restart's events keep their order, clocks shift by the
+            # units spent before it, and the restart index becomes the
+            # worker attribution — index order, never completion order.
+            tracer.extend_merged(
+                [
+                    TraceEvent(
+                        seq=0,
+                        clock=0.0,
+                        kind=obs_events.RESTART,
+                        data={"index": outcome.index, "units": outcome.units_spent},
+                    )
+                ],
+                clock_offset=offset,
+                worker=outcome.index,
+            )
+            tracer.extend_merged(
+                list(outcome.events),
+                clock_offset=offset,
+                worker=outcome.index,
+            )
+            tracer.metrics.inc("restarts")
+            tracer.metrics.gauge(
+                f"worker.{outcome.index}.units", outcome.units_spent
+            )
+            if outcome.metrics is not None:
+                tracer.metrics.merge(Metrics.from_snapshot(outcome.metrics))
         if outcome.result is not None:
             total_evaluations += outcome.result.n_evaluations
             for units, cost in outcome.result.trajectory:
@@ -391,6 +454,20 @@ def multi_start_optimize(
                     trajectory.append((offset + units, cost))
         offset += outcome.units_spent
     budget.spent = min(budget.limit, offset)
+    if tracing:
+        # Pool crashes arrive in completion order; mirror them into the
+        # trace in a canonical order so crash-free traces stay identical
+        # across worker counts and crashed traces are at least stable.
+        for record in sorted(
+            failure_log.as_tuple(), key=lambda r: (r.stage, r.kind)
+        ):
+            tracer.emit(
+                obs_events.FAULT,
+                stage=record.stage,
+                kind=record.kind,
+                action=record.action,
+            )
+            tracer.metrics.inc("faults")
 
     result = OptimizationResult(
         method=label,

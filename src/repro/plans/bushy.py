@@ -14,6 +14,12 @@ only on its relation set), so a tree's cost is the sum of
 ``model.join_cost(left_size, right_size, result_size)`` over its
 internal nodes — the same per-join pricing the linear plans get, with
 the left operand in the outer role.
+
+Terminology note: a *walk* over the bushy space is a search, not a
+trace.  "Trace" in this codebase means the ``repro.obs`` structured
+event log of an optimizer run (see :doc:`docs/observability.md`); the
+bushy improvement search emits no such events — it is an experimental
+instrument outside the traced optimizer stack.
 """
 
 from __future__ import annotations

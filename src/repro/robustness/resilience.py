@@ -39,6 +39,8 @@ from repro.core.optimizer import OptimizationResult
 from repro.core.state import Evaluator
 from repro.cost.base import CostModel
 from repro.cost.cardinality import prefix_cardinalities
+from repro.obs import events as obs_events
+from repro.obs.tracer import Tracer
 from repro.plans.join_order import JoinOrder
 from repro.robustness.verify import (
     catalog_violations,
@@ -82,15 +84,42 @@ class FailureRecord:
 
 @dataclass
 class FailureLog:
-    """An ordered record of every failure seen during one optimization."""
+    """An ordered record of every failure seen during one optimization.
+
+    With a recording ``tracer`` attached, every record is mirrored into
+    the trace as a ``fault`` event at the moment it is logged — the
+    trace and the log tell the same story in the same order.  The field
+    is excluded from comparison so logs compare on their records alone.
+    """
 
     records: list[FailureRecord] = field(default_factory=list)
+    tracer: Tracer | None = field(default=None, repr=False, compare=False)
 
     def add(self, **kwargs) -> None:
-        self.records.append(FailureRecord(**kwargs))
+        record = FailureRecord(**kwargs)
+        self.records.append(record)
+        if self.tracer is not None and self.tracer.enabled:
+            self.tracer.emit(
+                obs_events.FAULT,
+                stage=record.stage,
+                method=record.method,
+                kind=record.kind,
+                action=record.action,
+            )
+            self.tracer.metrics.inc("faults")
 
     def extend(self, records) -> None:
-        self.records.extend(records)
+        for record in records:
+            self.records.append(record)
+            if self.tracer is not None and self.tracer.enabled:
+                self.tracer.emit(
+                    obs_events.FAULT,
+                    stage=record.stage,
+                    method=record.method,
+                    kind=record.kind,
+                    action=record.action,
+                )
+                self.tracer.metrics.inc("faults")
 
     def as_tuple(self) -> tuple[FailureRecord, ...]:
         return tuple(self.records)
@@ -170,6 +199,7 @@ def _run_guarded(
     seed: int,
     params: MethodParams,
     target_cost: float | None,
+    tracer: Tracer | None = None,
 ) -> tuple[Evaluator, BaseException | None]:
     """Run one strategy, catching *everything*; the evaluator keeps the best.
 
@@ -186,6 +216,8 @@ def _run_guarded(
     # misbehaving evaluation, so it must not share the optimization the
     # verification gate is meant to check independently.
     evaluator = Evaluator(graph, model, budget, target_cost=target_cost)
+    if tracer is not None:
+        evaluator.tracer = tracer
     rng_key = method if isinstance(method, str) else strategy.name
     rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)
     error: BaseException | None = None
@@ -236,17 +268,22 @@ def resilient_optimize(
     params: MethodParams | None = None,
     target_cost: float | None = None,
     max_retries: int = 2,
+    tracer: Tracer | None = None,
 ) -> OptimizationResult:
     """Optimize with the full fallback chain; see the module docstring.
 
     Raises :class:`NoValidPlanError` only when every stage — including the
     deterministic spanning-order last resort — fails verification.
+
+    A recording ``tracer`` sees every :class:`FailureRecord` mirrored as
+    a ``fault`` event the moment it is logged, and one ``degraded``
+    event when the returned result is degraded.
     """
     if max_retries < 0:
         raise ValueError(f"max_retries must be >= 0, got {max_retries}")
     if params is None:
         params = MethodParams()
-    failures = FailureLog()
+    failures = FailureLog(tracer=tracer)
     method_name = _method_name(method)
 
     violations = catalog_violations(graph)
@@ -265,7 +302,7 @@ def resilient_optimize(
         graph = sanitize_catalog(graph)
 
     if graph.n_relations == 1:
-        return OptimizationResult(
+        result = OptimizationResult(
             method=method_name,
             graph=graph,
             order=JoinOrder([0]),
@@ -276,15 +313,24 @@ def resilient_optimize(
             degraded=bool(failures),
             failures=failures.as_tuple(),
         )
-    if not graph.is_connected:
-        return _resilient_disconnected(
+    elif not graph.is_connected:
+        result = _resilient_disconnected(
             graph, method, method_name, model, budget, seed, params,
             max_retries, failures,
         )
-    return _resilient_connected(
-        graph, method, method_name, model, budget, seed, params,
-        target_cost, max_retries, failures,
-    )
+    else:
+        result = _resilient_connected(
+            graph, method, method_name, model, budget, seed, params,
+            target_cost, max_retries, failures,
+        )
+    if tracer is not None and tracer.enabled and result.degraded:
+        tracer.emit(
+            obs_events.DEGRADED,
+            method=result.method,
+            failures=len(result.failures),
+        )
+        tracer.metrics.inc("degraded_runs")
+    return result
 
 
 def _resilient_connected(
@@ -306,7 +352,7 @@ def _resilient_connected(
     ):
         evaluator, error = _run_guarded(
             graph, stage_method, model, stage_budget, stage_seed, params,
-            target_cost,
+            target_cost, tracer=failures.tracer,
         )
         total_spent += stage_budget.spent
         total_evaluations += evaluator.n_evaluations

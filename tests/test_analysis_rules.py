@@ -157,6 +157,54 @@ def test_det002_allows_injected_clock_and_sleep() -> None:
     assert "DET002" not in codes(findings)
 
 
+def test_det002_escalates_message_in_verified_clean_module() -> None:
+    config = DetlintConfig(
+        root="/nonexistent",
+        baseline=None,
+        rule_options={"DET002": {"verified_clean": ["src/repro/obs"]}},
+    )
+    analyzer = Analyzer(config, baseline=None)
+    source = "import time\n\ndef stamp():\n    return time.time()\n"
+    escalated = [
+        f
+        for f in analyzer.check_source(source, "src/repro/obs/tracer.py")
+        if f.rule == "DET002" and f.counts
+    ]
+    assert len(escalated) == 1
+    assert "verified-clean" in escalated[0].message
+    plain = [
+        f
+        for f in analyzer.check_source(source, "src/repro/core/state.py")
+        if f.rule == "DET002" and f.counts
+    ]
+    assert len(plain) == 1
+    assert "verified-clean" not in plain[0].message
+
+
+def test_det002_verified_clean_modules_are_clean_in_this_repo() -> None:
+    """The registered ``repro.obs`` modules must actually be clock-free."""
+    import os
+
+    from repro.analysis.config import load_config
+
+    root = os.path.join(os.path.dirname(__file__), "..")
+    config = load_config(root)
+    verified = list(
+        config.options_for("DET002").get("verified_clean", [])
+    )
+    assert "src/repro/obs" in verified
+    analyzer = Analyzer(config, baseline=None)
+    obs_dir = os.path.join(root, "src", "repro", "obs")
+    checked = 0
+    for name in sorted(os.listdir(obs_dir)):
+        if not name.endswith(".py"):
+            continue
+        findings = analyzer.check_file(os.path.join(obs_dir, name))
+        assert [f for f in findings if f.rule == "DET002" and f.counts] == []
+        checked += 1
+    assert checked >= 5
+
+
 # ---------------------------------------------------------------------------
 # DET003 — unordered iteration feeding ordered constructs
 

@@ -1,0 +1,87 @@
+"""Tests for the obs reader CLI and the optimizer CLI's --trace/--metrics."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.core.optimizer import optimize
+from repro.obs import RecordingTracer, write_trace
+from repro.obs.__main__ import EXIT_DIFFERS, EXIT_OK, EXIT_USAGE
+from repro.obs.__main__ import main as obs_main
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture()
+def trace_file(tmp_path):
+    query = generate_query(DEFAULT_SPEC, n_joins=6, seed=3)
+    path = tmp_path / "run.jsonl"
+    optimize(query, method="SA", seed=1, trace=str(path))
+    return path
+
+
+def test_summarize_exits_zero(trace_file, capsys) -> None:
+    assert obs_main(["summarize", str(trace_file)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "events" in out
+    assert "run_end" in out or "final" in out
+
+
+def test_diff_identical(trace_file, tmp_path, capsys) -> None:
+    query = generate_query(DEFAULT_SPEC, n_joins=6, seed=3)
+    other = tmp_path / "other.jsonl"
+    optimize(query, method="SA", seed=1, trace=str(other))
+    assert obs_main(["diff", str(trace_file), str(other)]) == EXIT_OK
+    assert "identical" in capsys.readouterr().out
+
+
+def test_diff_divergent(trace_file, tmp_path, capsys) -> None:
+    query = generate_query(DEFAULT_SPEC, n_joins=6, seed=3)
+    other = tmp_path / "other.jsonl"
+    optimize(query, method="SA", seed=2, trace=str(other))
+    assert obs_main(["diff", str(trace_file), str(other)]) == EXIT_DIFFERS
+    assert capsys.readouterr().out.strip()
+
+
+def test_missing_file_is_usage_error(tmp_path, capsys) -> None:
+    assert obs_main(["summarize", str(tmp_path / "no.jsonl")]) == EXIT_USAGE
+    assert "error" in capsys.readouterr().err
+
+
+def test_malformed_trace_is_usage_error(tmp_path, capsys) -> None:
+    path = tmp_path / "bad.jsonl"
+    path.write_text("not json\n")
+    assert obs_main(["summarize", str(path)]) == EXIT_USAGE
+    assert "error" in capsys.readouterr().err
+
+
+def test_summarize_empty_recording(tmp_path) -> None:
+    tracer = RecordingTracer()
+    path = tmp_path / "empty.jsonl"
+    write_trace(tracer.events, str(path))
+    assert obs_main(["summarize", str(path)]) == EXIT_OK
+
+
+def test_optimizer_cli_trace_and_metrics_flags(tmp_path, capsys) -> None:
+    trace_path = tmp_path / "cli.jsonl"
+    metrics_path = tmp_path / "cli.json"
+    code = repro_main(
+        [
+            "optimize",
+            "--joins", "8",
+            "--seed", "5",
+            "--method", "II",
+            "--trace", str(trace_path),
+            "--metrics", str(metrics_path),
+        ]
+    )
+    assert code == 0
+    assert trace_path.exists()
+    assert metrics_path.exists()
+    metrics = json.loads(metrics_path.read_text())
+    assert metrics["counters"].get("evaluations", 0) > 0
+    assert obs_main(["summarize", str(trace_path)]) == EXIT_OK
+    capsys.readouterr()

@@ -1,0 +1,199 @@
+"""Differential tests for the repro.obs trace layer.
+
+The central contract: tracing is *observation only*.  Enabling a trace
+must change neither the returned plan nor any RNG draw — a traced run is
+bit-identical to an untraced one — and the trace itself must be a pure
+function of the seed (two same-seed runs serialize to identical bytes).
+"""
+
+from __future__ import annotations
+
+import filecmp
+import json
+
+import pytest
+
+from repro.core.combinations import PAPER_METHODS
+from repro.core.optimizer import OptimizationResult, optimize
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.obs import (
+    NULL_TRACER,
+    RecordingTracer,
+    TraceEvent,
+    diff_traces,
+    iter_trace,
+    read_trace,
+    read_trace_meta,
+    summarize_events,
+    write_trace,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+MODELS = {
+    "memory": MainMemoryCostModel,
+    "disk": DiskCostModel,
+}
+
+
+@pytest.fixture(scope="module")
+def query():
+    return generate_query(DEFAULT_SPEC, n_joins=8, seed=7)
+
+
+def result_fingerprint(result: OptimizationResult) -> tuple:
+    """Every result field whose value reflects the RNG stream."""
+    return (
+        result.method,
+        result.order.positions,
+        result.cost,
+        result.units_spent,
+        result.n_evaluations,
+        result.trajectory,
+        result.degraded,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Traced == untraced, for every method and both cost models
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+@pytest.mark.parametrize("method", PAPER_METHODS)
+def test_trace_changes_nothing(query, method, model_name) -> None:
+    model = MODELS[model_name]()
+    untraced = optimize(query, method=method, model=model, seed=11)
+    tracer = RecordingTracer()
+    traced = optimize(query, method=method, model=model, seed=11, trace=tracer)
+    assert result_fingerprint(traced) == result_fingerprint(untraced)
+    assert tracer.events, "tracer recorded no events"
+    assert tracer.events[0].kind == "run_start"
+    assert tracer.events[-1].kind == "run_end"
+
+
+@pytest.mark.parametrize("method", ("II", "SA", "IAI"))
+def test_trace_changes_nothing_resilient(query, method) -> None:
+    untraced = optimize(query, method=method, seed=3, resilient=True)
+    tracer = RecordingTracer()
+    traced = optimize(
+        query, method=method, seed=3, resilient=True, trace=tracer
+    )
+    assert result_fingerprint(traced) == result_fingerprint(untraced)
+
+
+# ---------------------------------------------------------------------------
+# Parallel: workers=4 trace identical to workers=1
+
+
+@pytest.mark.parametrize("method", ("II", "SA"))
+def test_worker_count_does_not_change_trace(query, method) -> None:
+    traces = {}
+    results = {}
+    for workers in (1, 4):
+        tracer = RecordingTracer()
+        results[workers] = optimize(
+            query,
+            method=method,
+            seed=5,
+            workers=workers,
+            restarts=4,
+            trace=tracer,
+        )
+        traces[workers] = tracer.events
+    assert result_fingerprint(results[1]) == result_fingerprint(results[4])
+    assert diff_traces(traces[1], traces[4]) == []
+
+
+def test_worker_count_does_not_change_result(query) -> None:
+    for workers in (1, 4):
+        untraced = optimize(
+            query, method="II", seed=9, workers=workers, restarts=4
+        )
+        tracer = RecordingTracer()
+        traced = optimize(
+            query,
+            method="II",
+            seed=9,
+            workers=workers,
+            restarts=4,
+            trace=tracer,
+        )
+        assert result_fingerprint(traced) == result_fingerprint(untraced)
+
+
+# ---------------------------------------------------------------------------
+# Determinism of the trace itself
+
+
+def test_same_seed_traces_are_identical(query) -> None:
+    first = RecordingTracer()
+    second = RecordingTracer()
+    optimize(query, method="SA", seed=13, trace=first)
+    optimize(query, method="SA", seed=13, trace=second)
+    assert diff_traces(first.events, second.events) == []
+    assert first.metrics.snapshot() == second.metrics.snapshot()
+
+
+def test_same_seed_trace_files_are_byte_identical(query, tmp_path) -> None:
+    paths = [tmp_path / "a.jsonl", tmp_path / "b.jsonl"]
+    for path in paths:
+        optimize(query, method="II", seed=2, trace=str(path))
+    assert filecmp.cmp(paths[0], paths[1], shallow=False)
+
+
+def test_event_sequence_and_clock_are_monotonic(query) -> None:
+    tracer = RecordingTracer()
+    optimize(query, method="IAI", seed=1, trace=tracer)
+    seqs = [event.seq for event in tracer.events]
+    assert seqs == list(range(len(seqs)))
+    clocks = [event.clock for event in tracer.events]
+    assert all(b >= a for a, b in zip(clocks, clocks[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Schema round-trip: emit → JSONL → read → summarize
+
+
+def test_trace_round_trip(query, tmp_path) -> None:
+    tracer = RecordingTracer()
+    optimize(query, method="SA", seed=4, trace=tracer)
+    path = tmp_path / "trace.jsonl"
+    write_trace(tracer.events, str(path), meta={"method": "SA"})
+    assert read_trace_meta(str(path)) == {"method": "SA"}
+    loaded = read_trace(str(path))
+    assert list(loaded) == list(tracer.events)
+    with open(path, "r", encoding="utf-8") as handle:
+        streamed = list(iter_trace(handle))
+    assert streamed == list(tracer.events)
+
+    summary = summarize_events(loaded)
+    assert summary.n_events == len(tracer.events)
+    assert summary.final_cost is not None
+    assert summary.kinds["run_start"] == 1
+    assert summary.kinds["run_end"] == 1
+    assert sum(summary.move_outcomes.values()) == summary.kinds.get("move", 0)
+
+
+def test_trace_file_is_valid_jsonl(query, tmp_path) -> None:
+    path = tmp_path / "trace.jsonl"
+    optimize(query, method="II", seed=6, trace=str(path))
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = [json.loads(line) for line in handle if line.strip()]
+    assert lines[0]["kind"] == "trace_header"
+    assert lines[0]["version"] == 1
+    for record in lines[1:]:
+        event = TraceEvent.from_json_dict(record)
+        assert event.kind
+
+
+# ---------------------------------------------------------------------------
+# The no-op backend
+
+
+def test_null_tracer_is_shared_and_silent(query) -> None:
+    before = NULL_TRACER.metrics.snapshot()
+    result = optimize(query, method="II", seed=8)
+    assert result.cost > 0
+    assert NULL_TRACER.metrics.snapshot() == before
+    assert not NULL_TRACER.enabled
