@@ -1,0 +1,169 @@
+"""Microbench: per-trial overhead of the cardinality-robustness harness.
+
+The harness (:mod:`repro.robustness.harness`) wraps every trial's
+``optimize()`` call in machinery — seed derivation, catalog
+perturbation, job construction, re-costing under the truth, regret
+aggregation, byte-stable rendering.  Its performance contract is that
+the wrapper stays cheap relative to the optimization it measures: a
+harness run must cost at most :data:`MAX_OVERHEAD_FACTOR` times a bare
+loop making the same number of same-budget ``optimize()`` calls.
+
+Min-of-R timing isolates the machinery from scheduler noise.  Every run
+writes ``results/BENCH_robustness.json`` so the per-trial overhead is a
+machine-readable series CI can diff per-PR.
+
+Run directly, this module is the robustness perf smoke check::
+
+    PYTHONPATH=src python benchmarks/test_perf_robustness.py --smoke [--json]
+"""
+
+import time
+
+import pytest
+
+from bench_utils import save_and_print, write_bench_json
+
+from repro.core.optimizer import optimize
+from repro.cost.memory import MainMemoryCostModel
+from repro.experiments.robustness import robustness_workload
+from repro.robustness.harness import RobustnessConfig, run_robustness
+from repro.workloads.benchmarks import DEFAULT_SPEC
+
+#: Asserted ceiling: harness seconds / bare-optimize-loop seconds for the
+#: same number of equal-budget optimize() calls.  The machinery itself is
+#: a few percent; the slack absorbs the (cheaper-graph) reference runs
+#: and CI scheduler noise.
+MAX_OVERHEAD_FACTOR = 2.0
+
+#: Repeats per mode; the minimum is reported (noise only ever inflates).
+REPEATS = 3
+
+
+def measure_robustness_overhead(
+    n_queries: int = 3, n_joins: int = 8, seed: int = 2026
+) -> dict:
+    """Min-of-R timings: full harness vs a bare loop of the same calls.
+
+    The bare loop makes exactly as many ``optimize()`` invocations as the
+    harness schedules (references plus trials), over the same queries at
+    the same budget — everything *except* the robustness machinery.
+    """
+    config = RobustnessConfig(
+        methods=("II", "SIMPLI_SQUARED"),
+        q_values=(1.0, 5.0),
+        n_trials=1,
+        time_factor=1.0,
+        seed=seed,
+    )
+    queries = robustness_workload(
+        DEFAULT_SPEC, n_queries=n_queries, n_joins=n_joins, seed=seed
+    )
+    model = MainMemoryCostModel()
+    n_jobs = n_queries * len(config.methods) * (1 + len(config.q_values) * config.n_trials)
+
+    def time_harness() -> float:
+        t0 = time.perf_counter()
+        run_robustness(queries, config, model=model)
+        return time.perf_counter() - t0
+
+    def time_bare() -> float:
+        t0 = time.perf_counter()
+        for index in range(n_jobs):
+            query = queries[index % n_queries]
+            optimize(
+                query,
+                method=config.methods[index % len(config.methods)],
+                model=model,
+                time_factor=config.time_factor,
+                units_per_n2=config.units_per_n2,
+                seed=seed + index,
+            )
+        return time.perf_counter() - t0
+
+    timings = {"harness": [], "bare": []}
+    # Interleave the modes so drift (thermal, other tenants) hits both.
+    for _ in range(REPEATS):
+        timings["bare"].append(time_bare())
+        timings["harness"].append(time_harness())
+    best_bare = min(timings["bare"])
+    best_harness = min(timings["harness"])
+    return {
+        "benchmark": "robustness-harness-overhead",
+        "n_queries": n_queries,
+        "n_joins": n_joins,
+        "n_optimize_calls": n_jobs,
+        "seed": seed,
+        "repeats": REPEATS,
+        "seconds_bare_min": round(best_bare, 6),
+        "seconds_harness_min": round(best_harness, 6),
+        "seconds_per_trial": round(best_harness / n_jobs, 6),
+        "overhead_factor": round(best_harness / best_bare, 4),
+        "ceiling": MAX_OVERHEAD_FACTOR,
+    }
+
+
+@pytest.mark.slow
+def test_harness_overhead_per_trial():
+    point = measure_robustness_overhead()
+    path = write_bench_json("robustness", point)
+    save_and_print(
+        "robustness_overhead",
+        "Robustness-harness overhead vs bare optimize loop:\n"
+        f"  bare loop ({point['n_optimize_calls']} calls): "
+        f"{point['seconds_bare_min']:.4f}s\n"
+        f"  harness (same calls)  : {point['seconds_harness_min']:.4f}s "
+        f"({point['seconds_per_trial'] * 1000:.1f} ms/trial)\n"
+        f"  factor: {point['overhead_factor']:.2f}x "
+        f"(ceiling {MAX_OVERHEAD_FACTOR:.1f}x)\n"
+        f"machine-readable series: {path.name}",
+    )
+    assert point["overhead_factor"] < MAX_OVERHEAD_FACTOR, (
+        f"robustness harness costs {point['overhead_factor']:.2f}x a bare "
+        f"optimize loop over the same calls; the contract allows "
+        f"{MAX_OVERHEAD_FACTOR:.1f}x"
+    )
+
+
+def _smoke_main(argv: list[str] | None = None) -> int:
+    """Reduced-size smoke: the overhead gate at a CI-friendly size."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the robustness harness."
+    )
+    parser.add_argument("--smoke", action="store_true", help="run reduced bench")
+    parser.add_argument("--n-queries", type=int, default=3)
+    parser.add_argument("--n-joins", type=int, default=8)
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_robustness.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+    point = measure_robustness_overhead(
+        n_queries=args.n_queries, n_joins=args.n_joins
+    )
+    print(
+        f"bare {point['seconds_bare_min']:.4f}s, "
+        f"harness {point['seconds_harness_min']:.4f}s, "
+        f"factor {point['overhead_factor']:.2f}x, "
+        f"{point['seconds_per_trial'] * 1000:.1f} ms/trial"
+    )
+    if args.json:
+        path = write_bench_json("robustness", point)
+        print(f"wrote {path}")
+    if point["overhead_factor"] >= MAX_OVERHEAD_FACTOR:
+        print("SMOKE FAIL: harness overhead above ceiling")
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    raise SystemExit(_smoke_main())

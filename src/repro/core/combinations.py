@@ -488,6 +488,16 @@ for _weight in (3, 4, 5):
 _FACTORIES["AUG"] = _FACTORIES["AUG3"]
 _FACTORIES["KBZ"] = _FACTORIES["KBZ3"]
 
+
+def _simpli_squared_factory() -> Strategy:
+    # Imported lazily: repro.core.simpli inherits Strategy from here.
+    from repro.core.simpli import SimpliSquaredStrategy
+
+    return SimpliSquaredStrategy()
+
+
+_FACTORIES["SIMPLI_SQUARED"] = _simpli_squared_factory
+
 #: The nine methods of the paper's Figure 4, in its presentation order.
 PAPER_METHODS = ("II", "SA", "SAA", "SAK", "IAI", "IKI", "IAL", "AGI", "KBI")
 

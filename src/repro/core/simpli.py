@@ -1,0 +1,76 @@
+"""Simpli-Squared: join ordering from base-table sizes alone.
+
+The provocative baseline of "Simpli-Squared: A Simple Yet Surprisingly
+Strong Join Ordering" (arXiv 2111.00163): throw away *all* derived
+statistics — selectivities, distinct counts, selection estimates — and
+order the joins purely by raw base-table size, smallest first, staying
+connected.  It cannot be fooled by estimation errors because it never
+consults an estimate; the paper's methods (II/SA/heuristics), which do,
+must beat it even when their inputs are wrong to justify their cost.
+The robustness harness (:mod:`repro.robustness.harness`) runs it as the
+reference floor of every q-error-vs-regret curve.
+
+Registered as method name ``"SIMPLI_SQUARED"`` (accepted case-insensitively
+by ``optimize()`` / ``compare_methods``).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.budget import BudgetExhausted
+from repro.core.combinations import MethodParams, Strategy
+from repro.core.state import Evaluator
+from repro.plans.join_order import JoinOrder
+
+
+def simpli_squared_order(graph: JoinGraph) -> JoinOrder:
+    """The Simpli-Squared join order of ``graph``.
+
+    Start from the relation with the smallest **base** cardinality (raw
+    table size, before selections — Simpli-Squared uses no estimates);
+    repeatedly append the smallest-base-cardinality relation adjacent to
+    the placed set, falling back to the smallest remaining relation when
+    no adjacent one exists (disconnected graphs).  Ties break on the
+    relation index, so the order is a pure function of the graph.
+    """
+    n = graph.n_relations
+
+    def key(index: int) -> tuple[float, int]:
+        return (graph.relation(index).base_cardinality, index)
+
+    remaining = set(range(n))
+    first = min(remaining, key=key)
+    order = [first]
+    remaining.discard(first)
+    frontier = {v for v in graph.neighbors(first) if v in remaining}
+    while remaining:
+        pool = frontier if frontier else remaining
+        chosen = min(pool, key=key)
+        order.append(chosen)
+        remaining.discard(chosen)
+        frontier.discard(chosen)
+        frontier.update(v for v in graph.neighbors(chosen) if v in remaining)
+    return JoinOrder(order)
+
+
+class SimpliSquaredStrategy(Strategy):
+    """The Simpli-Squared baseline as an ``optimize()`` strategy.
+
+    Deterministic and estimate-free: it prices exactly one order — the
+    one :func:`simpli_squared_order` produces — and stops.  Like the
+    pure heuristics, it cannot exploit leftover budget.
+    """
+
+    name = "SIMPLI_SQUARED"
+    description = "Simpli-Squared: order by base-table size only, no estimates"
+    stochastic = False
+
+    def run(
+        self, evaluator: Evaluator, rng: random.Random, params: MethodParams
+    ) -> None:
+        try:
+            evaluator.evaluate(simpli_squared_order(evaluator.graph))
+        except BudgetExhausted:
+            pass

@@ -1,0 +1,76 @@
+"""Workload-level entry point for the cardinality-robustness harness.
+
+Bridges :mod:`repro.workloads` and :mod:`repro.robustness.harness`:
+generate a seeded workload from a benchmark specification, run the
+regret harness over it, and hand back the :class:`RobustnessReport`.
+This is what the ``repro robustness`` CLI command and the experiments
+tests call; the per-query mechanics live in the robustness package.
+"""
+
+from __future__ import annotations
+
+from repro.catalog.join_graph import Query
+from repro.cost.base import CostModel
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.robustness.harness import (
+    RobustnessConfig,
+    RobustnessReport,
+    run_robustness,
+)
+from repro.robustness.resilience import FailureLog
+from repro.utils.rng import derive_seed
+from repro.workloads.distributions import WorkloadSpec
+from repro.workloads.generator import generate_query
+
+
+def robustness_workload(
+    spec: WorkloadSpec,
+    n_queries: int,
+    n_joins: int,
+    seed: int = 0,
+) -> list[Query]:
+    """``n_queries`` seeded queries for one robustness run.
+
+    Query ``i`` is generated from ``derive_seed(seed, "robustness-query",
+    i)`` and named ``rq<i>``, so a workload is a pure function of
+    ``(spec, n_queries, n_joins, seed)``.
+    """
+    if n_queries < 1:
+        raise ValueError("n_queries must be >= 1")
+    return [
+        generate_query(
+            spec,
+            n_joins=n_joins,
+            seed=derive_seed(seed, "robustness-query", index),
+            name=f"rq{index}",
+        )
+        for index in range(n_queries)
+    ]
+
+
+def robustness_experiment(
+    spec: WorkloadSpec,
+    config: RobustnessConfig | None = None,
+    n_queries: int = 20,
+    n_joins: int = 10,
+    model: CostModel | None = None,
+    tracer: Tracer = NULL_TRACER,
+    failure_log: FailureLog | None = None,
+) -> RobustnessReport:
+    """Generate a workload from ``spec`` and run the regret harness.
+
+    The workload seed is the harness config's seed, so the whole
+    experiment — queries included — derives from one integer.
+    """
+    if config is None:
+        config = RobustnessConfig()
+    queries = robustness_workload(
+        spec, n_queries=n_queries, n_joins=n_joins, seed=config.seed
+    )
+    return run_robustness(
+        queries,
+        config=config,
+        model=model,
+        tracer=tracer,
+        failure_log=failure_log,
+    )

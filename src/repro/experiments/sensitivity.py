@@ -14,12 +14,11 @@ import random
 from dataclasses import dataclass
 
 from repro.catalog.join_graph import JoinGraph, Query
-from repro.catalog.predicates import JoinPredicate
-from repro.catalog.relation import Relation
 from repro.core.budget import DEFAULT_UNITS_PER_N2
 from repro.core.optimizer import optimize
 from repro.cost.base import CostModel
 from repro.cost.memory import MainMemoryCostModel
+from repro.robustness.estimates import LOG_UNIFORM, ErrorModel
 from repro.utils.rng import derive_rng
 from repro.utils.validation import check_positive
 
@@ -29,42 +28,21 @@ def perturb_graph(
 ) -> JoinGraph:
     """A copy of ``graph`` with statistics perturbed up to the factor.
 
-    Every base cardinality and distinct-value count is multiplied by an
-    independent factor log-uniform in ``[1/f, f]`` (the standard model of
-    multiplicative estimation error), keeping distinct counts within
-    their relation's perturbed cardinality.
+    Thin shim over :class:`repro.robustness.estimates.ErrorModel` with
+    the ``loguniform`` distribution, which is exactly this function's
+    historical semantics: every base cardinality and distinct-value
+    count multiplied by an independent factor log-uniform in
+    ``[1/f, f]``, distinct counts capped by their relation's perturbed
+    cardinality.  Kept as the public entry point because its signature
+    (an explicit ``random.Random``) predates the seeded model.
     """
     check_positive("max_error_factor", max_error_factor)
     if max_error_factor < 1.0:
         raise ValueError("max_error_factor must be >= 1")
-
-    def factor() -> float:
-        low = 1.0 / max_error_factor
-        return low * (max_error_factor / low) ** rng.random()
-
-    relations = []
-    for relation in graph.relations:
-        cardinality = max(2, int(round(relation.base_cardinality * factor())))
-        relations.append(
-            Relation(relation.name, cardinality, relation.selections)
-        )
-    predicates = []
-    for predicate in graph.predicates:
-        left_cap = relations[predicate.left].cardinality
-        right_cap = relations[predicate.right].cardinality
-        predicates.append(
-            JoinPredicate(
-                predicate.left,
-                predicate.right,
-                left_distinct=min(
-                    left_cap, max(1.0, predicate.left_distinct * factor())
-                ),
-                right_distinct=min(
-                    right_cap, max(1.0, predicate.right_distinct * factor())
-                ),
-            )
-        )
-    return JoinGraph(relations, predicates)
+    model = ErrorModel(
+        q=max_error_factor, seed=0, distribution=LOG_UNIFORM
+    )
+    return model.perturb_with_rng(graph, rng)
 
 
 @dataclass(frozen=True)

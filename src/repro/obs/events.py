@@ -43,6 +43,8 @@ Event kinds
                    shared-bound publication, early-stop target)
 ``fault``          a failure was observed (mirrors ``FailureRecord``)
 ``degraded``       a resilient run returned a degraded result
+``perturb``        an ErrorModel perturbed a catalog (q, seed, draws)
+``regret``         a robustness-harness trial's regret was measured
 =================  ======================================================
 
 ``worker`` attributes an event to the orchestrator restart that emitted
@@ -67,6 +69,8 @@ RESTART = "restart"
 BOUND = "bound"
 FAULT = "fault"
 DEGRADED = "degraded"
+PERTURB = "perturb"
+REGRET = "regret"
 
 #: Every kind a conforming trace may contain, in documentation order.
 EVENT_KINDS: tuple[str, ...] = (
@@ -81,6 +85,8 @@ EVENT_KINDS: tuple[str, ...] = (
     BOUND,
     FAULT,
     DEGRADED,
+    PERTURB,
+    REGRET,
 )
 
 #: ``move`` outcomes.

@@ -1,0 +1,194 @@
+"""Seeded q-error perturbation of catalog statistics ("estimates are lies").
+
+Every scenario elsewhere in the repo hands the optimizer *exact* System-R
+statistics, so experiments only ever measure search quality.  Real
+optimizers consume estimates that are wrong — routinely by orders of
+magnitude — and the interesting question becomes how much plan quality
+survives the lies.  :class:`ErrorModel` manufactures the lies on demand,
+deterministically.
+
+The error unit is the **q-error**: for a true value ``t`` and an estimate
+``e``, ``q = max(e / t, t / e) >= 1`` (the standard multiplicative error
+measure of the cardinality-estimation literature).  An ``ErrorModel(q,
+seed)`` perturbs every base-table cardinality and every join-column
+distinct-value count of a :class:`~repro.catalog.join_graph.JoinGraph` by
+an independent multiplicative factor whose magnitude is controlled by
+``q``:
+
+``lognormal`` (default)
+    ``ln f ~ Normal(0, ln(q) / 2)`` — the log-normal error model, under
+    which roughly 95% of individual estimates have q-error at most ``q``
+    (and ~5% are worse, as in real systems where a few estimates are
+    catastrophically wrong).  ``q = 1`` degenerates to the identity.
+``loguniform``
+    ``f`` log-uniform in ``[1/q, q]`` — a hard-bounded error model, the
+    semantics of the original ad-hoc ``perturb_graph`` in
+    :mod:`repro.experiments.sensitivity` (which is now a thin shim over
+    this class).
+
+Determinism contract
+--------------------
+:meth:`ErrorModel.perturb` derives its stream from ``(seed, distribution,
+q)`` via :func:`repro.utils.rng.derive_rng` and draws factors in a fixed
+order (relations by index, then predicates in graph order, left side
+before right).  The same ``(graph, seed, q, distribution)`` therefore
+always yields a statistically *identical* perturbed graph — across runs,
+processes, and worker counts — which is what makes the robustness
+harness's byte-identical-report guarantee possible.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.utils.rng import derive_rng
+
+#: Supported error distributions.
+LOG_NORMAL = "lognormal"
+LOG_UNIFORM = "loguniform"
+DISTRIBUTIONS: tuple[str, ...] = (LOG_NORMAL, LOG_UNIFORM)
+
+
+def q_error(estimate: float, truth: float) -> float:
+    """The q-error ``max(e/t, t/e)`` of one estimate (>= 1).
+
+    Both quantities must be positive; a perfect estimate scores 1.
+    """
+    if estimate <= 0 or truth <= 0:
+        raise ValueError(
+            f"q_error needs positive operands, got {estimate!r}/{truth!r}"
+        )
+    ratio = estimate / truth
+    return max(ratio, 1.0 / ratio)
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """A seeded multiplicative estimation-error model of magnitude ``q``.
+
+    Parameters
+    ----------
+    q:
+        The q-error magnitude (>= 1).  Under ``lognormal`` it is the
+        ~95th percentile of individual q-errors; under ``loguniform`` it
+        is a hard bound.  ``q = 1`` is the identity model.
+    seed:
+        Root seed of the perturbation stream (see the module docstring's
+        determinism contract).
+    distribution:
+        ``"lognormal"`` (default) or ``"loguniform"``.
+    perturb_cardinalities / perturb_selectivities:
+        Switch off perturbation of base-table cardinalities or of
+        join-column distinct counts (and hence join selectivities)
+        respectively, for ablations.
+    """
+
+    q: float
+    seed: int = 0
+    distribution: str = LOG_NORMAL
+    perturb_cardinalities: bool = True
+    perturb_selectivities: bool = True
+
+    def __post_init__(self) -> None:
+        if not math.isfinite(self.q) or self.q < 1.0:
+            raise ValueError(f"q must be finite and >= 1, got {self.q!r}")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(
+                f"unknown distribution {self.distribution!r}; "
+                f"one of {DISTRIBUTIONS}"
+            )
+
+    # ------------------------------------------------------------------
+    # Factor draws
+    # ------------------------------------------------------------------
+
+    def factor(self, rng: random.Random) -> float:
+        """One multiplicative error factor drawn from ``rng``."""
+        if self.q == 1.0:
+            return 1.0
+        if self.distribution == LOG_NORMAL:
+            sigma = math.log(self.q) / 2.0
+            return rng.lognormvariate(0.0, sigma)
+        # loguniform: f = q ** u with u uniform in [-1, 1] — identically
+        # the original perturb_graph draw low * (q/low) ** rng.random().
+        low = 1.0 / self.q
+        return low * (self.q / low) ** rng.random()
+
+    # ------------------------------------------------------------------
+    # Graph perturbation
+    # ------------------------------------------------------------------
+
+    def perturb(self, graph: JoinGraph) -> JoinGraph:
+        """A perturbed copy of ``graph`` under this model's own stream.
+
+        Pure in ``(graph, self)``: repeated calls return statistically
+        identical graphs.
+        """
+        rng = derive_rng(self.seed, "error-model", self.distribution, self.q)
+        return self.perturb_with_rng(graph, rng)
+
+    def perturb_with_rng(self, graph: JoinGraph, rng: random.Random) -> JoinGraph:
+        """Like :meth:`perturb` but consuming a caller-supplied stream.
+
+        Exists for the :func:`repro.experiments.sensitivity.perturb_graph`
+        shim, whose public signature takes an explicit ``random.Random``.
+        Draw order is fixed (relations by index, then predicates in graph
+        order, left before right) regardless of the switches, which skip
+        *applying* a draw, never drawing it — so ablations stay aligned
+        on the same stream.
+        """
+        relations: list[Relation] = []
+        for relation in graph.relations:
+            f = self.factor(rng)
+            if self.perturb_cardinalities:
+                cardinality = max(2, int(round(relation.base_cardinality * f)))
+            else:
+                cardinality = relation.base_cardinality
+            relations.append(
+                Relation(relation.name, cardinality, relation.selections)
+            )
+        predicates: list[JoinPredicate] = []
+        for predicate in graph.predicates:
+            left_factor = self.factor(rng)
+            right_factor = self.factor(rng)
+            if not self.perturb_selectivities:
+                left_factor = right_factor = 1.0
+            # Distinct counts stay within the (perturbed) effective
+            # cardinality of their relation, which also satisfies the
+            # graph's distinct <= base-rows validation.
+            left_cap = relations[predicate.left].cardinality
+            right_cap = relations[predicate.right].cardinality
+            predicates.append(
+                JoinPredicate(
+                    predicate.left,
+                    predicate.right,
+                    left_distinct=min(
+                        left_cap,
+                        max(1.0, predicate.left_distinct * left_factor),
+                    ),
+                    right_distinct=min(
+                        right_cap,
+                        max(1.0, predicate.right_distinct * right_factor),
+                    ),
+                )
+            )
+        return JoinGraph(relations, predicates)
+
+    def n_draws(self, graph: JoinGraph) -> int:
+        """Factor draws one perturbation of ``graph`` consumes."""
+        return graph.n_relations + 2 * len(graph.predicates)
+
+    def to_json_dict(self) -> dict:
+        """A JSON-safe description (embedded in robustness reports)."""
+        return {
+            "q": self.q,
+            "seed": self.seed,
+            "distribution": self.distribution,
+            "perturb_cardinalities": self.perturb_cardinalities,
+            "perturb_selectivities": self.perturb_selectivities,
+        }

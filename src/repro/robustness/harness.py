@@ -1,0 +1,371 @@
+"""The robustness harness: optimize under lies, re-cost under truth.
+
+For each (query × method × q-error magnitude × trial) the harness
+
+1. perturbs the query's catalog with a seeded
+   :class:`~repro.robustness.estimates.ErrorModel` (one perturbation per
+   trial, shared by every method, so all methods face the *same* lies),
+2. optimizes under the perturbed catalog,
+3. re-costs the chosen join order under the **true** catalog, and
+4. reports the **regret**: true cost of the plan chosen under lies
+   divided by the best true cost any compared method found when
+   optimizing under the truth.
+
+Regret 1.0 means estimation error did not hurt; regret 10 means the lies
+cost an order of magnitude of plan quality.  (Regret can dip slightly
+below 1.0: the search is randomized, and a perturbed run may stumble on
+a plan the truth-guided reference runs missed.)  Aggregated over a
+workload, the per-``(method, q)`` medians form the q-error-vs-regret
+curves of :class:`RobustnessReport` — the robustness analogue of the
+paper's scaled-cost figures.
+
+Determinism contract
+--------------------
+``run_robustness`` is a pure function of ``(queries, config, model)``:
+every optimizer seed and every perturbation seed is derived from
+``config.seed`` with :func:`repro.utils.rng.derive_seed`; trials fan out
+through :func:`repro.parallel.map_jobs`, whose outcomes arrive in job
+order regardless of scheduling; and all aggregation happens in the
+parent in fixed iteration order.  The rendered report
+(:meth:`RobustnessReport.to_json`) is therefore **byte-identical**
+across runs and across ``workers=1`` vs ``workers=N`` — enforced by the
+differential test in ``tests/test_robustness_harness.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Any, Sequence
+
+from repro.catalog.join_graph import JoinGraph, Query
+from repro.core.budget import DEFAULT_UNITS_PER_N2
+from repro.cost.base import CostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.obs import events as obs_events
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.parallel.orchestrator import JobOutcome, OptimizeJob, map_jobs
+from repro.robustness.estimates import DISTRIBUTIONS, LOG_NORMAL, ErrorModel
+from repro.robustness.resilience import FailureLog
+from repro.utils.rng import derive_seed
+
+#: Format version of the serialized report (bump on schema changes).
+REPORT_VERSION = 1
+
+#: Default method slate: the paper's winner, plain II, and the
+#: estimate-free Simpli-Squared floor.
+DEFAULT_METHODS: tuple[str, ...] = ("IAI", "II", "SIMPLI_SQUARED")
+
+#: Default q-error magnitudes (the acceptance grid of ROADMAP item 4).
+DEFAULT_Q_VALUES: tuple[float, ...] = (1.0, 2.0, 5.0, 10.0)
+
+
+@dataclass(frozen=True)
+class RobustnessConfig:
+    """Tunables of one harness run (all seeds derive from ``seed``)."""
+
+    methods: tuple[str, ...] = DEFAULT_METHODS
+    q_values: tuple[float, ...] = DEFAULT_Q_VALUES
+    n_trials: int = 3
+    distribution: str = LOG_NORMAL
+    time_factor: float = 3.0
+    units_per_n2: float = DEFAULT_UNITS_PER_N2
+    seed: int = 0
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not self.methods:
+            raise ValueError("methods must be non-empty")
+        if not self.q_values or any(q < 1.0 for q in self.q_values):
+            raise ValueError("q_values must be non-empty and all >= 1")
+        if self.n_trials < 1:
+            raise ValueError("n_trials must be >= 1")
+        if self.distribution not in DISTRIBUTIONS:
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "methods": list(self.methods),
+            "q_values": list(self.q_values),
+            "n_trials": self.n_trials,
+            "distribution": self.distribution,
+            "time_factor": self.time_factor,
+            "units_per_n2": self.units_per_n2,
+            "seed": self.seed,
+        }
+
+
+@dataclass(frozen=True)
+class TrialResult:
+    """One (query × q × trial × method) measurement."""
+
+    query: str
+    q: float
+    trial: int
+    method: str
+    #: Cost of the chosen plan under the *perturbed* statistics — what
+    #: the optimizer believed it achieved.
+    believed_cost: float
+    #: Cost of the same plan under the true statistics.
+    true_cost: float
+    #: ``true_cost`` / best true cost found when optimizing under truth.
+    regret: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "query": self.query,
+            "q": self.q,
+            "trial": self.trial,
+            "method": self.method,
+            "believed_cost": self.believed_cost,
+            "true_cost": self.true_cost,
+            "regret": self.regret,
+        }
+
+
+@dataclass(frozen=True)
+class CurvePoint:
+    """Regret statistics for one (method, q) over all queries × trials."""
+
+    method: str
+    q: float
+    n: int
+    median_regret: float
+    mean_regret: float
+    worst_regret: float
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "method": self.method,
+            "q": self.q,
+            "n": self.n,
+            "median_regret": self.median_regret,
+            "mean_regret": self.mean_regret,
+            "worst_regret": self.worst_regret,
+        }
+
+
+@dataclass(frozen=True)
+class RobustnessReport:
+    """Everything one harness run measured, serializable byte-stably."""
+
+    config: RobustnessConfig
+    queries: tuple[str, ...]
+    #: Best true cost found under truth, per query (the regret divisor).
+    reference_costs: tuple[float, ...]
+    trials: tuple[TrialResult, ...]
+    curves: tuple[CurvePoint, ...]
+
+    def curve(self, method: str) -> list[CurvePoint]:
+        """The q-error-vs-regret curve of one method, ascending in q."""
+        name = method.upper()
+        return sorted(
+            (p for p in self.curves if p.method == name), key=lambda p: p.q
+        )
+
+    def to_json_dict(self) -> dict[str, Any]:
+        return {
+            "version": REPORT_VERSION,
+            "config": self.config.to_json_dict(),
+            "queries": list(self.queries),
+            "reference_costs": list(self.reference_costs),
+            "trials": [t.to_json_dict() for t in self.trials],
+            "curves": [c.to_json_dict() for c in self.curves],
+        }
+
+    def to_json(self) -> str:
+        """The canonical byte-stable rendering (the determinism contract
+        is stated over exactly this string)."""
+        return json.dumps(
+            self.to_json_dict(), sort_keys=True, separators=(",", ":")
+        )
+
+
+def median(values: Sequence[float]) -> float:
+    """Median with the usual even-count midpoint (values need not be sorted)."""
+    if not values:
+        raise ValueError("median of empty sequence")
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _graph_of(query: Query | JoinGraph) -> JoinGraph:
+    return query.graph if isinstance(query, Query) else query
+
+
+def _name_of(query: Query | JoinGraph, index: int) -> str:
+    name = getattr(query, "name", "")
+    return name or f"query-{index}"
+
+
+def run_robustness(
+    queries: Sequence[Query | JoinGraph],
+    config: RobustnessConfig | None = None,
+    model: CostModel | None = None,
+    tracer: Tracer = NULL_TRACER,
+    failure_log: FailureLog | None = None,
+) -> RobustnessReport:
+    """Measure regret curves for ``queries`` under ``config``.
+
+    All optimizer invocations — the truth-guided reference runs and
+    every perturbed trial — fan out through one
+    :func:`repro.parallel.map_jobs` call, so ``config.workers`` scales
+    the harness without changing a byte of the report.
+    """
+    if config is None:
+        config = RobustnessConfig()
+    if model is None:
+        model = MainMemoryCostModel()
+    if not queries:
+        raise ValueError("queries must be non-empty")
+
+    graphs = [_graph_of(q) for q in queries]
+    names = tuple(_name_of(q, i) for i, q in enumerate(queries))
+
+    # Job list: reference runs first (truth catalog), then every
+    # perturbed trial.  Fixed construction order == fixed outcome order.
+    jobs: list[OptimizeJob] = []
+
+    def add_job(graph: JoinGraph, method: str, seed: int, tag: str) -> int:
+        index = len(jobs)
+        jobs.append(
+            OptimizeJob(
+                graph=graph,
+                method=method,
+                model=model,
+                seed=seed,
+                index=index,
+                tag=tag,
+                time_factor=config.time_factor,
+                units_per_n2=config.units_per_n2,
+            )
+        )
+        return index
+
+    reference_jobs: dict[tuple[int, str], int] = {}
+    for qi, graph in enumerate(graphs):
+        for method in config.methods:
+            seed = derive_seed(config.seed, "robustness-ref", qi)
+            reference_jobs[(qi, method)] = add_job(
+                graph, method, seed, f"ref:{names[qi]}:{method}"
+            )
+
+    trial_jobs: dict[tuple[int, float, int, str], int] = {}
+    perturbed_graphs: dict[tuple[int, float, int], JoinGraph] = {}
+    for qi, graph in enumerate(graphs):
+        for q in config.q_values:
+            for trial in range(config.n_trials):
+                error_model = ErrorModel(
+                    q=q,
+                    seed=derive_seed(config.seed, "robustness-perturb", qi, q, trial),
+                    distribution=config.distribution,
+                )
+                perturbed = error_model.perturb(graph)
+                perturbed_graphs[(qi, q, trial)] = perturbed
+                if tracer.enabled:
+                    tracer.emit(
+                        obs_events.PERTURB,
+                        query=names[qi],
+                        q=q,
+                        trial=trial,
+                        distribution=config.distribution,
+                        draws=error_model.n_draws(graph),
+                    )
+                    tracer.metrics.inc("robustness_perturbations")
+                seed = derive_seed(config.seed, "robustness-opt", qi, q, trial)
+                for method in config.methods:
+                    trial_jobs[(qi, q, trial, method)] = add_job(
+                        perturbed,
+                        method,
+                        seed,
+                        f"trial:{names[qi]}:q{q}:t{trial}:{method}",
+                    )
+
+    outcomes = map_jobs(jobs, config.workers, failure_log=failure_log)
+
+    def result_of(index: int) -> Any:
+        outcome: JobOutcome = outcomes[index]
+        if outcome.result is None:
+            raise RuntimeError(
+                f"robustness job {outcome.tag!r} failed: "
+                f"{outcome.error or 'no plan evaluated'}"
+            )
+        return outcome.result
+
+    # Regret divisor: best true cost any method found under the truth.
+    reference_costs = tuple(
+        min(
+            result_of(reference_jobs[(qi, method)]).cost
+            for method in config.methods
+        )
+        for qi in range(len(graphs))
+    )
+
+    trials: list[TrialResult] = []
+    for qi in range(len(graphs)):
+        for q in config.q_values:
+            for trial in range(config.n_trials):
+                for method in config.methods:
+                    result = result_of(trial_jobs[(qi, q, trial, method)])
+                    true_cost = model.plan_cost(result.order, graphs[qi])
+                    regret = true_cost / reference_costs[qi]
+                    trials.append(
+                        TrialResult(
+                            query=names[qi],
+                            q=q,
+                            trial=trial,
+                            method=str(method).upper(),
+                            believed_cost=result.cost,
+                            true_cost=true_cost,
+                            regret=regret,
+                        )
+                    )
+                    if tracer.enabled:
+                        tracer.emit(
+                            obs_events.REGRET,
+                            query=names[qi],
+                            q=q,
+                            trial=trial,
+                            method=str(method).upper(),
+                            regret=regret,
+                        )
+                        tracer.metrics.inc("robustness_trials")
+                        tracer.metrics.observe("robustness_regret", regret)
+
+    curves: list[CurvePoint] = []
+    for method in config.methods:
+        name = str(method).upper()
+        for q in config.q_values:
+            regrets = [
+                t.regret for t in trials if t.method == name and t.q == q
+            ]
+            curves.append(
+                CurvePoint(
+                    method=name,
+                    q=q,
+                    n=len(regrets),
+                    median_regret=median(regrets),
+                    mean_regret=sum(regrets) / len(regrets),
+                    worst_regret=max(regrets),
+                )
+            )
+
+    return RobustnessReport(
+        config=config,
+        queries=names,
+        reference_costs=reference_costs,
+        trials=tuple(trials),
+        curves=tuple(curves),
+    )
+
+
+def write_report(report: RobustnessReport, path: str) -> None:
+    """Write the canonical rendering (plus trailing newline) to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(report.to_json())
+        handle.write("\n")

@@ -1,0 +1,109 @@
+"""Tests for the Simpli-Squared estimate-free baseline method."""
+
+import pytest
+
+from repro.core.combinations import available_method_names, compare_methods, make_strategy
+from repro.core.optimizer import optimize
+from repro.core.simpli import SimpliSquaredStrategy, simpli_squared_order
+from repro.cost.memory import MainMemoryCostModel
+from repro.plans.validity import first_invalid_position
+from repro.robustness.estimates import ErrorModel
+
+
+class TestSimpliSquaredOrder:
+    def test_chain_order(self, chain):
+        # Chain cardinalities [100, 1000, 50, 400, 800]: start at the
+        # smallest table, then always the smallest adjacent one.
+        assert list(simpli_squared_order(chain)) == [2, 3, 4, 1, 0]
+
+    def test_star_order(self, star):
+        # The centre must come second: nothing else is adjacent to the
+        # smallest satellite.
+        assert list(simpli_squared_order(star)) == [3, 0, 1, 2, 4]
+
+    def test_order_is_valid(self, chain, star, cycle, two_components):
+        for graph in (chain, star, cycle, two_components):
+            order = simpli_squared_order(graph)
+            assert first_invalid_position(order, graph) is None
+
+    def test_disconnected_fallback(self, two_components):
+        # [100, 200, 300, 40, 500] in components {0,1} and {2,3,4}:
+        # exhaust the component of the smallest table, then jump.
+        assert list(simpli_squared_order(two_components)) == [3, 2, 4, 0, 1]
+
+    def test_pure_function_of_the_graph(self, medium_query):
+        graph = medium_query.graph
+        assert list(simpli_squared_order(graph)) == list(
+            simpli_squared_order(graph)
+        )
+
+    def test_ignores_derived_statistics(self, medium_query):
+        """The order only reads base cardinalities: perturbing distinct
+        counts alone must not change it."""
+        graph = medium_query.graph
+        lying = ErrorModel(
+            q=10.0, seed=5, perturb_cardinalities=False
+        ).perturb(graph)
+        assert list(simpli_squared_order(lying)) == list(
+            simpli_squared_order(graph)
+        )
+
+
+class TestSimpliSquaredStrategy:
+    def test_registered_and_listed(self):
+        assert "SIMPLI_SQUARED" in available_method_names()
+        strategy = make_strategy("simpli_squared")
+        assert isinstance(strategy, SimpliSquaredStrategy)
+        assert strategy.stochastic is False
+
+    def test_optimize_accepts_the_name(self, small_query):
+        result = optimize(small_query, method="simpli_squared", seed=0)
+        assert result.method == "SIMPLI_SQUARED"
+        assert list(result.order) == list(
+            simpli_squared_order(small_query.graph)
+        )
+        model = MainMemoryCostModel()
+        assert result.cost == pytest.approx(
+            model.plan_cost(result.order, small_query.graph)
+        )
+
+    def test_seed_independent(self, small_query):
+        a = optimize(small_query, method="SIMPLI_SQUARED", seed=0)
+        b = optimize(small_query, method="SIMPLI_SQUARED", seed=99)
+        assert list(a.order) == list(b.order)
+        assert a.cost == b.cost
+
+    def test_compare_methods_accepts_it(self, small_query):
+        results = compare_methods(
+            small_query, methods=("II", "simpli_squared"), seed=1, time_factor=1.0
+        )
+        assert set(results) == {"II", "simpli_squared"}
+        simpli = results["simpli_squared"]
+        assert simpli.n_evaluations == 1
+        # An estimate-guided search given real statistics should not lose
+        # to the estimate-free baseline.
+        assert results["II"].cost <= simpli.cost
+
+    def test_compare_methods_parallel_matches_serial(self, small_query):
+        serial = compare_methods(
+            small_query, methods=("SIMPLI_SQUARED", "II"), seed=1, time_factor=1.0
+        )
+        parallel = compare_methods(
+            small_query,
+            methods=("SIMPLI_SQUARED", "II"),
+            seed=1,
+            time_factor=1.0,
+            workers=2,
+        )
+        for name in serial:
+            assert list(serial[name].order) == list(parallel[name].order)
+            assert serial[name].cost == parallel[name].cost
+
+    def test_resilient_path(self, small_query):
+        result = optimize(
+            small_query, method="simpli_squared", seed=0, resilient=True
+        )
+        assert result.degraded is False
+        assert list(result.order) == list(
+            simpli_squared_order(small_query.graph)
+        )

@@ -1,0 +1,168 @@
+"""Tests for the seeded q-error estimation-error model."""
+
+import math
+import random
+
+import pytest
+
+from repro.robustness.estimates import (
+    DISTRIBUTIONS,
+    LOG_NORMAL,
+    LOG_UNIFORM,
+    ErrorModel,
+    q_error,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+
+@pytest.fixture
+def query():
+    return generate_query(DEFAULT_SPEC, n_joins=12, seed=11)
+
+
+class TestQError:
+    def test_perfect_estimate_scores_one(self):
+        assert q_error(42.0, 42.0) == 1.0
+
+    def test_symmetric_in_direction(self):
+        assert q_error(10.0, 100.0) == q_error(100.0, 10.0) == 10.0
+
+    @pytest.mark.parametrize("estimate,truth", [(0.0, 1.0), (1.0, 0.0), (-2.0, 3.0)])
+    def test_rejects_non_positive(self, estimate, truth):
+        with pytest.raises(ValueError):
+            q_error(estimate, truth)
+
+
+class TestErrorModelValidation:
+    def test_rejects_q_below_one(self):
+        with pytest.raises(ValueError):
+            ErrorModel(q=0.5)
+
+    def test_rejects_non_finite_q(self):
+        with pytest.raises(ValueError):
+            ErrorModel(q=math.inf)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            ErrorModel(q=2.0, distribution="gaussian")
+
+    def test_known_distributions_accepted(self):
+        for distribution in DISTRIBUTIONS:
+            ErrorModel(q=2.0, distribution=distribution)
+
+
+class TestDeterminism:
+    def test_repeated_perturbation_identical(self, query):
+        model = ErrorModel(q=5.0, seed=3)
+        first = model.perturb(query.graph)
+        second = model.perturb(query.graph)
+        assert [r.base_cardinality for r in first.relations] == [
+            r.base_cardinality for r in second.relations
+        ]
+        assert [
+            (p.left_distinct, p.right_distinct) for p in first.predicates
+        ] == [(p.left_distinct, p.right_distinct) for p in second.predicates]
+
+    def test_seed_changes_the_draws(self, query):
+        a = ErrorModel(q=5.0, seed=0).perturb(query.graph)
+        b = ErrorModel(q=5.0, seed=1).perturb(query.graph)
+        assert [r.base_cardinality for r in a.relations] != [
+            r.base_cardinality for r in b.relations
+        ]
+
+    def test_switches_keep_the_stream_aligned(self, query):
+        """Disabling selectivity perturbation must not shift the
+        cardinality draws (switches skip applying, never drawing)."""
+        full = ErrorModel(q=5.0, seed=3).perturb(query.graph)
+        ablated = ErrorModel(
+            q=5.0, seed=3, perturb_selectivities=False
+        ).perturb(query.graph)
+        assert [r.base_cardinality for r in full.relations] == [
+            r.base_cardinality for r in ablated.relations
+        ]
+
+
+class TestPerturbation:
+    def test_q_one_is_identity_on_cardinalities(self, query):
+        for distribution in DISTRIBUTIONS:
+            perturbed = ErrorModel(q=1.0, distribution=distribution).perturb(
+                query.graph
+            )
+            for i in range(query.graph.n_relations):
+                assert perturbed.relation(i).base_cardinality == max(
+                    2, query.graph.relation(i).base_cardinality
+                )
+
+    def test_structure_and_selections_preserved(self, query):
+        graph = query.graph
+        perturbed = ErrorModel(q=10.0, seed=2).perturb(graph)
+        assert perturbed.n_relations == graph.n_relations
+        assert len(perturbed.predicates) == len(graph.predicates)
+        for a, b in zip(graph.predicates, perturbed.predicates):
+            assert (a.left, a.right) == (b.left, b.right)
+        for i in range(graph.n_relations):
+            assert perturbed.relation(i).selections == graph.relation(i).selections
+
+    def test_loguniform_factors_hard_bounded(self, query):
+        graph = query.graph
+        q = 3.0
+        perturbed = ErrorModel(q=q, seed=1, distribution=LOG_UNIFORM).perturb(graph)
+        for i in range(graph.n_relations):
+            original = graph.relation(i).base_cardinality
+            new = perturbed.relation(i).base_cardinality
+            assert original / q - 1 <= new <= original * q + 1
+
+    def test_lognormal_q_is_about_the_95th_percentile(self):
+        model = ErrorModel(q=4.0)
+        rng = random.Random(9)
+        factors = [model.factor(rng) for _ in range(2000)]
+        within = sum(1 for f in factors if 1 / model.q <= f <= model.q)
+        # ln f ~ N(0, ln(q)/2): ~95.4% of draws land within [1/q, q].
+        assert 0.90 < within / len(factors) < 0.99
+        assert any(f > model.q or f < 1 / model.q for f in factors)
+
+    def test_distinct_capped_by_perturbed_cardinality(self, query):
+        perturbed = ErrorModel(q=10.0, seed=4).perturb(query.graph)
+        for predicate in perturbed.predicates:
+            for side in predicate.endpoints:
+                assert (
+                    predicate.distinct_values(side)
+                    <= perturbed.relation(side).cardinality
+                )
+
+    def test_cardinality_switch_off(self, query):
+        perturbed = ErrorModel(
+            q=10.0, seed=4, perturb_cardinalities=False
+        ).perturb(query.graph)
+        for i in range(query.graph.n_relations):
+            assert (
+                perturbed.relation(i).base_cardinality
+                == query.graph.relation(i).base_cardinality
+            )
+
+    def test_selectivity_switch_off(self, query):
+        graph = query.graph
+        perturbed = ErrorModel(
+            q=10.0, seed=4, perturb_selectivities=False
+        ).perturb(graph)
+        for old, new in zip(graph.predicates, perturbed.predicates):
+            # Unperturbed, up to the clamp by the perturbed cardinality.
+            for side in old.endpoints:
+                cap = perturbed.relation(side).cardinality
+                assert new.distinct_values(side) == min(
+                    cap, max(1.0, old.distinct_values(side))
+                )
+
+    def test_n_draws(self, query):
+        graph = query.graph
+        model = ErrorModel(q=2.0)
+        assert model.n_draws(graph) == graph.n_relations + 2 * len(graph.predicates)
+
+    def test_to_json_dict(self):
+        model = ErrorModel(q=5.0, seed=7, distribution=LOG_NORMAL)
+        payload = model.to_json_dict()
+        assert payload["q"] == 5.0
+        assert payload["seed"] == 7
+        assert payload["distribution"] == LOG_NORMAL
+        assert payload["perturb_cardinalities"] is True

@@ -1,0 +1,206 @@
+"""Tests for the regret harness, including the differential determinism
+contract: same (graph, seed, q) -> byte-identical report JSON across runs
+and across worker counts."""
+
+import json
+
+import pytest
+
+from repro.obs import RecordingTracer
+from repro.obs import events as obs_events
+from repro.robustness.estimates import LOG_UNIFORM
+from repro.robustness.harness import (
+    RobustnessConfig,
+    RobustnessReport,
+    median,
+    run_robustness,
+    write_report,
+)
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+SMALL_CONFIG = RobustnessConfig(
+    methods=("II", "SIMPLI_SQUARED"),
+    q_values=(1.0, 5.0),
+    n_trials=2,
+    time_factor=1.0,
+    seed=7,
+)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return [
+        generate_query(DEFAULT_SPEC, n_joins=6, seed=s, name=f"hq{s}")
+        for s in range(3)
+    ]
+
+
+@pytest.fixture(scope="module")
+def report(workload):
+    return run_robustness(workload, SMALL_CONFIG)
+
+
+class TestMedian:
+    def test_odd(self):
+        assert median([3.0, 1.0, 2.0]) == 2.0
+
+    def test_even_midpoint(self):
+        assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median([])
+
+
+class TestConfigValidation:
+    def test_rejects_empty_methods(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(methods=())
+
+    def test_rejects_q_below_one(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(q_values=(0.5,))
+
+    def test_rejects_zero_trials(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(n_trials=0)
+
+    def test_rejects_unknown_distribution(self):
+        with pytest.raises(ValueError):
+            RobustnessConfig(distribution="gaussian")
+
+    def test_rejects_empty_queries(self):
+        with pytest.raises(ValueError):
+            run_robustness([], SMALL_CONFIG)
+
+
+class TestReportShape:
+    def test_one_trial_row_per_cell(self, report, workload):
+        expected = (
+            len(workload)
+            * len(SMALL_CONFIG.q_values)
+            * SMALL_CONFIG.n_trials
+            * len(SMALL_CONFIG.methods)
+        )
+        assert len(report.trials) == expected
+
+    def test_one_curve_point_per_method_q(self, report):
+        assert len(report.curves) == len(SMALL_CONFIG.methods) * len(
+            SMALL_CONFIG.q_values
+        )
+        for point in report.curves:
+            assert point.n == 3 * SMALL_CONFIG.n_trials
+            assert point.worst_regret >= point.median_regret > 0
+
+    def test_curve_accessor_sorted_by_q(self, report):
+        curve = report.curve("simpli_squared")
+        assert [p.q for p in curve] == sorted(SMALL_CONFIG.q_values)
+        assert all(p.method == "SIMPLI_SQUARED" for p in curve)
+
+    def test_reference_costs_positive(self, report, workload):
+        assert len(report.reference_costs) == len(workload)
+        assert all(cost > 0 for cost in report.reference_costs)
+
+    def test_regret_consistent_with_reference(self, report, workload):
+        by_name = {q.name: i for i, q in enumerate(workload)}
+        for trial in report.trials:
+            reference = report.reference_costs[by_name[trial.query]]
+            assert trial.regret == pytest.approx(trial.true_cost / reference)
+
+
+class TestDeterminism:
+    def test_byte_identical_across_runs(self, workload, report):
+        again = run_robustness(workload, SMALL_CONFIG)
+        assert again.to_json() == report.to_json()
+
+    def test_byte_identical_across_worker_counts(self, workload, report):
+        from dataclasses import replace
+
+        parallel = run_robustness(workload, replace(SMALL_CONFIG, workers=2))
+        assert parallel.to_json() == report.to_json()
+
+    def test_json_round_trips(self, report):
+        payload = json.loads(report.to_json())
+        assert payload["version"] == 1
+        assert payload["config"]["seed"] == SMALL_CONFIG.seed
+        assert len(payload["trials"]) == len(report.trials)
+
+    def test_write_report(self, report, tmp_path):
+        path = tmp_path / "report.json"
+        write_report(report, str(path))
+        assert path.read_text(encoding="utf-8") == report.to_json() + "\n"
+
+    def test_distribution_changes_the_report(self, workload):
+        from dataclasses import replace
+
+        loguniform = run_robustness(
+            workload, replace(SMALL_CONFIG, distribution=LOG_UNIFORM)
+        )
+        base = run_robustness(workload, SMALL_CONFIG)
+        assert loguniform.to_json() != base.to_json()
+
+
+class TestObservability:
+    def test_perturb_and_regret_events_emitted(self, workload):
+        tracer = RecordingTracer()
+        run_robustness(workload, SMALL_CONFIG, tracer=tracer)
+        kinds = [event.kind for event in tracer.events]
+        n_cells = len(workload) * len(SMALL_CONFIG.q_values) * SMALL_CONFIG.n_trials
+        assert kinds.count(obs_events.PERTURB) == n_cells
+        assert kinds.count(obs_events.REGRET) == n_cells * len(SMALL_CONFIG.methods)
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["counters"]["robustness_trials"] == n_cells * len(
+            SMALL_CONFIG.methods
+        )
+
+    def test_tracing_does_not_change_the_report(self, workload, report):
+        traced = run_robustness(
+            workload, SMALL_CONFIG, tracer=RecordingTracer()
+        )
+        assert traced.to_json() == report.to_json()
+
+
+@pytest.mark.slow
+class TestExperimentsScale:
+    """The acceptance-criteria run: q in {1, 2, 5, 10} over >= 20 queries."""
+
+    @pytest.fixture(scope="class")
+    def large_report(self) -> RobustnessReport:
+        from repro.experiments.robustness import robustness_experiment
+
+        config = RobustnessConfig(
+            methods=("II", "SIMPLI_SQUARED"),
+            q_values=(1.0, 2.0, 5.0, 10.0),
+            n_trials=1,
+            time_factor=1.0,
+            seed=2026,
+            workers=2,
+        )
+        return robustness_experiment(
+            DEFAULT_SPEC, config, n_queries=20, n_joins=8
+        )
+
+    def test_full_curve_present(self, large_report):
+        for method in ("II", "SIMPLI_SQUARED"):
+            curve = large_report.curve(method)
+            assert [p.q for p in curve] == [1.0, 2.0, 5.0, 10.0]
+            assert all(p.n == 20 for p in curve)
+
+    def test_twenty_seeded_queries(self, large_report):
+        assert len(large_report.queries) == 20
+        assert len(set(large_report.queries)) == 20
+
+    def test_estimate_free_baseline_is_flat_ish_but_worse(self, large_report):
+        """Simpli-Squared ignores estimates, so its regret should not
+        collapse at q=1 the way an estimate-guided method's does."""
+        ii = {p.q: p.median_regret for p in large_report.curve("II")}
+        simpli = {
+            p.q: p.median_regret for p in large_report.curve("SIMPLI_SQUARED")
+        }
+        assert ii[1.0] == pytest.approx(1.0, abs=0.05)
+        assert simpli[1.0] > 1.0
+
+    def test_regret_grows_with_q_for_estimate_guided_search(self, large_report):
+        ii = {p.q: p.median_regret for p in large_report.curve("II")}
+        assert ii[10.0] >= ii[1.0]

@@ -27,6 +27,7 @@ from repro.robustness import (
     deterministic_fallback_order,
     verify_plan,
 )
+from repro.robustness.estimates import ErrorModel
 from repro.robustness.faults import COST_EXCEPTION, INF_COST, NAN_COST
 from repro.robustness.resilience import FailureLog, resilient_optimize
 
@@ -303,3 +304,53 @@ class TestFailureLog:
         assert not log
         assert len(log) == 0
         assert log.summary() == "no failures recorded"
+
+
+class TestEstimateErrorInterplay:
+    """Chaos interplay: lying cardinality estimates *and* injected cost
+    faults at the same time. The resilience chain must still return a
+    plan that verifies against the catalog it optimized (the lying one),
+    and the failure log must record what was absorbed."""
+
+    def test_fault_storm_on_perturbed_catalog_yields_verified_plan(
+        self, medium_query
+    ):
+        lying = ErrorModel(q=10.0, seed=11).perturb(medium_query.graph)
+        model = FaultyCostModel(
+            MODEL, [FaultSpec(kind=NAN_COST, probability=0.05)], seed=5
+        )
+        result = optimize(
+            lying, method="IAI", seed=3, time_factor=1.0,
+            resilient=True, model=model,
+        )
+        assert model.n_injected > 0
+        assert_gate_passes(result, lying, model=MODEL)
+        assert result.degraded == bool(result.failures)
+
+    def test_exception_on_perturbed_catalog_populates_failure_log(
+        self, medium_query
+    ):
+        lying = ErrorModel(q=5.0, seed=2).perturb(medium_query.graph)
+        model = FaultyCostModel(
+            MODEL, [FaultSpec(kind=COST_EXCEPTION, at_evaluation=50)], seed=5
+        )
+        result = optimize(
+            lying, method="IAI", seed=3, time_factor=1.0,
+            resilient=True, model=model,
+        )
+        assert_gate_passes(result, lying, model=MODEL)
+        assert result.degraded
+        log = FailureLog(records=list(result.failures))
+        assert log  # populated, not empty
+        assert any(record.stage == "attempt" for record in log.records)
+
+    def test_perturbation_alone_never_degrades(self, medium_query):
+        """Lying estimates are not faults: without injection the
+        resilient path must report a clean, non-degraded run."""
+        lying = ErrorModel(q=10.0, seed=7).perturb(medium_query.graph)
+        result = optimize(
+            lying, method="IAI", seed=3, time_factor=1.0, resilient=True
+        )
+        assert not result.degraded
+        assert result.failures == ()
+        assert_gate_passes(result, lying, model=MODEL)
