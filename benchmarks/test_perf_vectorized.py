@@ -1,0 +1,205 @@
+"""Microbench: vectorized batch costing vs. scalar full evaluation.
+
+Times :meth:`repro.cost.vectorized.ArrayContext.batch_costs` against the
+scalar oracle (``model.plan_cost`` per candidate) on identical candidate
+batches, for both cost models, and writes the machine-readable series to
+``results/BENCH_vectorized.json`` so subsequent PRs can diff it.  A
+parity spot-check runs inside the measurement: the kernel only counts as
+fast if it is also *right* (bitwise, per the module's contract).
+
+The asserted floor mirrors the tentpole's acceptance criterion: at
+``N = 100`` the kernel must deliver at least 10x the evaluations/sec of
+scalar full re-costing.  Run directly, this module is the CPU-gated CI
+smoke check::
+
+    PYTHONPATH=src python benchmarks/test_perf_vectorized.py --smoke [--json]
+
+which uses a reduced batch and a 2x floor so shared CI runners with
+noisy neighbours do not flake the gate (the 10x claim is re-asserted by
+the slow suite on quiet hardware).
+"""
+
+import time
+
+import pytest
+
+from bench_utils import save_and_print, write_bench_json
+
+#: (n_joins, batch size): batches big enough to amortise the per-batch
+#: constant (array conversion, one gather per join position).
+SIZES = ((20, 512), (50, 512), (100, 512))
+
+#: Acceptance floor at the largest size: the whole point of the
+#: struct-of-arrays kernel is an order of magnitude over the scalar walk.
+MIN_BATCH_SPEEDUP_AT_100 = 10.0
+
+#: Smoke floor for shared CI runners (reduced size, noisy neighbours).
+SMOKE_FLOOR = 2.0
+
+
+def measure_vectorized(
+    n_joins: int, batch_size: int, seed: int = 2026, repeats: int = 5
+) -> dict:
+    """Time scalar full costing vs. the batch kernel on one batch.
+
+    Both modes price the identical ``batch_size`` candidates ``repeats``
+    times; the first three rows are cross-checked bitwise against the
+    scalar oracle on every call, so a silently wrong kernel fails here
+    rather than benching as a speedup.
+    """
+    import random
+
+    from repro.cost.disk import DiskCostModel
+    from repro.cost.memory import MainMemoryCostModel
+    from repro.cost.vectorized import ArrayContext
+    from repro.plans.validity import random_valid_order
+    from repro.workloads.benchmarks import DEFAULT_SPEC
+    from repro.workloads.generator import generate_query
+
+    graph = generate_query(DEFAULT_SPEC, n_joins=n_joins, seed=seed).graph
+    rng = random.Random(seed)
+    rows = [
+        random_valid_order(graph, rng).positions for _ in range(batch_size)
+    ]
+
+    models = {}
+    for model in (MainMemoryCostModel(), DiskCostModel()):
+        context = ArrayContext(graph, model)
+
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            scalar_costs = [model.plan_cost(row, graph) for row in rows]
+        scalar_seconds = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        for _ in range(repeats):
+            batch_costs, _saturated = context.batch_costs(
+                rows, validate=False
+            )
+        batch_seconds = time.perf_counter() - t0
+
+        for row in range(3):
+            assert float(batch_costs[row]) == scalar_costs[row], (
+                f"kernel diverges from plan_cost on row {row} "
+                f"(N={n_joins}, model={model.name})"
+            )
+
+        evaluations = batch_size * repeats
+        models[model.name] = {
+            "scalar_seconds": round(scalar_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "evaluations": evaluations,
+            "scalar_evals_per_sec": round(evaluations / scalar_seconds, 1)
+            if scalar_seconds > 0
+            else float("inf"),
+            "batch_evals_per_sec": round(evaluations / batch_seconds, 1)
+            if batch_seconds > 0
+            else float("inf"),
+            "speedup_vs_scalar": round(scalar_seconds / batch_seconds, 3)
+            if batch_seconds > 0
+            else float("inf"),
+            "vectorized": context.vectorized,
+        }
+    return {
+        "n_joins": n_joins,
+        "batch_size": batch_size,
+        "repeats": repeats,
+        "seed": seed,
+        "models": models,
+    }
+
+
+@pytest.mark.slow
+def test_vectorized_throughput():
+    from repro.cost.vectorized import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        pytest.skip("numpy not installed; the kernel is the scalar fallback")
+    results = {"benchmark": "vectorized-batch-costing", "sizes": []}
+    lines = [
+        "Batch kernel throughput (evals/sec, speedup vs scalar full):",
+        f"{'N':>5} {'model':>8} {'scalar':>12} {'batched':>14}",
+    ]
+    for n_joins, batch_size in SIZES:
+        point = measure_vectorized(n_joins, batch_size)
+        results["sizes"].append(point)
+        for name, stats in point["models"].items():
+            lines.append(
+                f"{n_joins:>5} {name:>8} "
+                f"{stats['scalar_evals_per_sec']:>12.0f} "
+                f"{stats['batch_evals_per_sec']:>10.0f} "
+                f"({stats['speedup_vs_scalar']:>5.2f}x)"
+            )
+    path = write_bench_json("vectorized", results)
+    lines.append(f"machine-readable series: {path.name}")
+    save_and_print("vectorized_throughput", "\n".join(lines))
+
+    largest = results["sizes"][-1]
+    assert largest["n_joins"] == 100
+    for name, stats in largest["models"].items():
+        speedup = stats["speedup_vs_scalar"]
+        assert speedup >= MIN_BATCH_SPEEDUP_AT_100, (
+            f"batch kernel only {speedup:.2f}x over scalar full costing "
+            f"at N=100 ({name} model); the kernel promises "
+            f">= {MIN_BATCH_SPEEDUP_AT_100}x"
+        )
+
+
+def _smoke_main(argv=None):
+    """The CI smoke check: one reduced size, a CPU-gated floor."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the vectorized batch kernel."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the reduced kernel microbench (the only mode)",
+    )
+    parser.add_argument(
+        "--n-joins", type=int, default=50, help="query size (default 50)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=256, help="batch size (default 256)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_vectorized_smoke.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+
+    from repro.cost.vectorized import HAVE_NUMPY
+
+    if not HAVE_NUMPY:
+        print("SMOKE SKIP: numpy not installed (scalar fallback in use)")
+        return 0
+    result = measure_vectorized(args.n_joins, args.batch, repeats=3)
+    worst = None
+    for name, stats in result["models"].items():
+        print(
+            f"{name:>8}: scalar {stats['scalar_evals_per_sec']:>10.1f} "
+            f"-> batched {stats['batch_evals_per_sec']:>10.1f} evals/s "
+            f"({stats['speedup_vs_scalar']:.2f}x)"
+        )
+        speedup = stats["speedup_vs_scalar"]
+        if worst is None or speedup < worst:
+            worst = speedup
+    if args.json:
+        path = write_bench_json("vectorized_smoke", result)
+        print(f"wrote {path}")
+    if worst < SMOKE_FLOOR:
+        print(
+            f"SMOKE FAIL: kernel only {worst:.2f}x vs scalar "
+            f"(floor {SMOKE_FLOOR}x)"
+        )
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(_smoke_main())

@@ -95,6 +95,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "the prefix-cached incremental engine (see docs/performance.md)",
     )
     evaluation.add_argument(
+        "--batch-costing",
+        action="store_true",
+        help="price candidate batches through the vectorized kernel "
+        "(repro.cost.vectorized); bit-identical results, fastest with "
+        "numpy installed (see docs/performance.md)",
+    )
+    evaluation.add_argument(
         "--budget-accounting",
         choices=(PER_PLAN, PER_JOIN),
         default=PER_PLAN,
@@ -327,6 +334,7 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
         resilient=args.resilient,
         max_retries=args.max_retries,
         incremental=args.incremental,
+        batch_costing=args.batch_costing,
         budget_accounting=args.budget_accounting,
         workers=args.workers,
         restarts=args.restarts,
@@ -363,6 +371,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         time_factor=args.time_factor,
         seed=args.seed,
         incremental=args.incremental,
+        batch_costing=args.batch_costing,
         budget_accounting=args.budget_accounting,
         workers=args.workers,
         failure_log=failure_log,
@@ -562,6 +571,7 @@ def _cmd_sql(args: argparse.Namespace) -> int:
         resilient=args.resilient,
         max_retries=args.max_retries,
         incremental=args.incremental,
+        batch_costing=args.batch_costing,
         budget_accounting=args.budget_accounting,
         workers=args.workers,
         restarts=args.restarts,

@@ -15,6 +15,7 @@
 from repro.core.budget import Budget, BudgetExhausted, WallClockBudget
 from repro.core.moves import Move, MoveSet, NoValidMove
 from repro.core.state import (
+    BatchEvaluator,
     DeltaEvaluator,
     Evaluation,
     Evaluator,
@@ -38,6 +39,7 @@ __all__ = [
     "Evaluation",
     "Evaluator",
     "DeltaEvaluator",
+    "BatchEvaluator",
     "PER_PLAN",
     "PER_JOIN",
     "AugmentationCriterion",

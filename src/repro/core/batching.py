@@ -1,0 +1,130 @@
+"""Candidate speculation for batched costing.
+
+The batched search loops face a chicken-and-egg problem: the vectorized
+kernel wants a whole batch of candidate orders up front, but the scalar
+walks draw each candidate from the RNG *after* deciding the previous one's
+fate — an accepted move changes the current order, and every draw after it
+would have come from the new state.
+
+The resolution is *speculation with state snapshots*: draw a run of moves
+from the shared RNG assuming every one of them gets rejected (the common
+case — II rejects most neighbors, SA rejects most uphill moves), recording
+``rng.getstate()`` after each draw.  The batch kernel prices the whole run
+at once; the consumer then replays the run in order, and the moment a move
+is *accepted* it restores the RNG to the snapshot taken right after that
+move's draws and throws the rest of the batch away.  The RNG stream the
+walk observes is therefore exactly the scalar stream — bit-identical
+trajectories — while rejected runs (the bulk of the work) are priced at
+array speed.
+
+``draw_uniform`` covers simulated annealing's acceptance test: the scalar
+chain draws its uniform *only* for uphill moves, but whether a move is
+uphill is unknown until it is priced.  Speculating the pair ``(move, u)``
+works because a *rejected* move is always an uphill move — so a rejection
+consumed both draws, matching the speculated stream; on acceptance the
+consumer restores ``state_after_move`` (downhill: ``u`` was never drawn)
+or ``state_after_u`` (uphill: it was).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.catalog.join_graph import JoinGraph
+from repro.core.moves import Move, MoveSet, NoValidMove
+from repro.plans.join_order import JoinOrder
+
+
+@dataclass(frozen=True)
+class SpeculatedMove:
+    """One speculated draw: the move, its neighbor, and RNG snapshots.
+
+    ``state_after_move`` is the RNG state right after the move's own draws
+    (including validity-rejected retries); ``state_after_u`` additionally
+    covers the speculative uniform when one was drawn, and equals
+    ``state_after_move`` otherwise.
+    """
+
+    move: Move
+    neighbor: JoinOrder
+    state_after_move: Any
+    u: float | None
+    state_after_u: Any
+
+
+def speculate_moves(
+    current: JoinOrder,
+    graph: JoinGraph,
+    move_set: MoveSet,
+    rng: random.Random,
+    limit: int,
+    draw_uniform: bool = False,
+) -> tuple[list[SpeculatedMove], bool]:
+    """Draw up to ``limit`` moves from ``current`` assuming all-rejected.
+
+    Returns ``(speculated, exhausted)``.  ``exhausted`` is True when a
+    draw raised :class:`NoValidMove`; the failed draw consumed the RNG
+    exactly as the scalar walk's failing draw would, so a consumer that
+    rejects every prior speculation may handle the exhaustion in place.
+    A consumer that *accepts* an earlier move must discard the flag along
+    with the rest of the batch (the scalar walk would have drawn from the
+    accepted neighbor instead).
+
+    The RNG is left positioned after the last draw — the all-rejected
+    stream position; accepting consumers restore the relevant snapshot.
+    """
+    speculated: list[SpeculatedMove] = []
+    for _ in range(limit):
+        try:
+            move, neighbor = move_set.random_valid_move(current, graph, rng)
+        except NoValidMove:
+            return speculated, True
+        state_after_move = rng.getstate()
+        if draw_uniform:
+            u: float | None = rng.random()
+            state_after_u = rng.getstate()
+        else:
+            u = None
+            state_after_u = state_after_move
+        speculated.append(
+            SpeculatedMove(move, neighbor, state_after_move, u, state_after_u)
+        )
+    return speculated, False
+
+
+class BatchSizer:
+    """Deterministic adaptive batch size for speculation runs.
+
+    Speculation pays off in proportion to the rejection streak: a batch is
+    fully used only when every move in it is rejected, and everything
+    after an accepted move is thrown away.  The sizer doubles the batch
+    after a fully-consumed (all-rejected) run and shrinks it toward twice
+    the observed streak length after an acceptance, so hill-descending
+    phases (long streaks) get big batches and fluid phases (quick accepts)
+    waste little speculation.
+
+    Purely a performance knob: batch size never changes which candidates
+    are generated, only how many are priced per kernel sweep.
+    """
+
+    def __init__(
+        self, initial: int = 8, minimum: int = 4, maximum: int = 128
+    ) -> None:
+        if not 1 <= minimum <= initial <= maximum:
+            raise ValueError(
+                f"need 1 <= minimum <= initial <= maximum, got "
+                f"{minimum}/{initial}/{maximum}"
+            )
+        self.minimum = minimum
+        self.maximum = maximum
+        self.size = initial
+
+    def grow(self) -> None:
+        """The whole batch was consumed without an acceptance."""
+        self.size = min(self.maximum, self.size * 2)
+
+    def shrink(self, consumed: int) -> None:
+        """A move was accepted after ``consumed`` rejected speculations."""
+        self.size = max(self.minimum, min(self.maximum, 2 * max(1, consumed)))

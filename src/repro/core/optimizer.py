@@ -23,7 +23,14 @@ from repro.core.combinations import (
     available_method_names,
     make_strategy,
 )
-from repro.core.state import DeltaEvaluator, Evaluator, PER_PLAN, TargetReached
+from repro.core.state import (
+    BatchEvaluator,
+    DeltaEvaluator,
+    Evaluator,
+    PER_JOIN,
+    PER_PLAN,
+    TargetReached,
+)
 from repro.cost.base import CostModel
 from repro.cost.bounds import lower_bound
 from repro.cost.cardinality import prefix_cardinalities
@@ -89,6 +96,7 @@ def _optimize_connected(
     params: MethodParams,
     target_cost: float | None = None,
     incremental: bool = True,
+    batch_costing: bool = False,
     budget_accounting: str = PER_PLAN,
     record_floor: float | None = None,
     tracer: Tracer | None = None,
@@ -100,8 +108,16 @@ def _optimize_connected(
     # key on their registered name.
     rng_key = method if isinstance(method, str) else strategy.name
     rng = derive_rng(seed, "optimize", rng_key, graph.n_relations)
-    if incremental and DeltaEvaluator.supports(model):
-        evaluator: Evaluator = DeltaEvaluator(
+    if batch_costing and BatchEvaluator.supports(model):
+        evaluator: Evaluator = BatchEvaluator(
+            graph,
+            model,
+            budget,
+            target_cost=target_cost,
+            record_floor=record_floor,
+        )
+    elif incremental and DeltaEvaluator.supports(model):
+        evaluator = DeltaEvaluator(
             graph,
             model,
             budget,
@@ -143,6 +159,7 @@ def optimize(
     resilient: bool = False,
     max_retries: int = 2,
     incremental: bool = True,
+    batch_costing: bool = False,
     budget_accounting: str = PER_PLAN,
     workers: int | None = None,
     restarts: int | None = None,
@@ -184,6 +201,18 @@ def optimize(
         eligible — models that override ``plan_cost``, and the resilient
         path, always use the full reference evaluator.  ``False`` forces
         full re-costing everywhere (the reference oracle).
+    batch_costing:
+        Route the search through the vectorized batch evaluator
+        (:class:`~repro.core.state.BatchEvaluator`) when the cost model
+        is eligible: search loops speculate candidate batches and price
+        them in single kernel sweeps (:mod:`repro.cost.vectorized`),
+        with RNG draws and results bit-identical to the scalar path.
+        Takes precedence over ``incremental``; ineligible models fall
+        back exactly as ``incremental`` does, and without numpy the
+        kernel degrades to scalar per-row costing (same results, no
+        speedup).  Incompatible with per-join ``budget_accounting``
+        (the kernel always walks every join) and ignored on the
+        resilient path, which pins the reference evaluator.
     budget_accounting:
         ``"per-plan"`` (default) charges ``n_joins`` units per candidate
         exactly like the full evaluator — the compatibility mode that
@@ -223,6 +252,12 @@ def optimize(
     cost is finite, non-negative, and agrees with recomputation.
     """
     graph = query.graph if isinstance(query, Query) else query
+    if batch_costing and budget_accounting == PER_JOIN:
+        raise ValueError(
+            "batch_costing=True cannot be combined with per-join budget "
+            "accounting: the batch kernel always walks every join, so "
+            "per-join charges would just be per-plan charges in disguise"
+        )
     if model is None:
         model = MainMemoryCostModel()
     if params is None:
@@ -270,6 +305,7 @@ def optimize(
             restarts=restarts,
             workers=workers,
             incremental=incremental,
+            batch_costing=batch_costing,
             budget_accounting=budget_accounting,
             stop_at_bound=stop_at_bound,
             bound_tolerance=bound_tolerance,
@@ -305,6 +341,7 @@ def optimize(
             params,
             target_cost,
             incremental=incremental,
+            batch_costing=batch_costing,
             budget_accounting=budget_accounting,
             record_floor=record_floor,
             tracer=tracer,
@@ -331,6 +368,7 @@ def optimize(
             seed,
             params,
             incremental=incremental,
+            batch_costing=batch_costing,
             budget_accounting=budget_accounting,
             tracer=tracer,
         )
@@ -375,6 +413,7 @@ def _optimize_disconnected(
     seed: int,
     params: MethodParams,
     incremental: bool = True,
+    batch_costing: bool = False,
     budget_accounting: str = PER_PLAN,
     tracer: Tracer | None = None,
 ) -> OptimizationResult:
@@ -408,6 +447,7 @@ def _optimize_disconnected(
             budget=share,
             params=params,
             incremental=incremental,
+            batch_costing=batch_costing,
             budget_accounting=budget_accounting,
             trace=tracer,
         )

@@ -15,23 +15,33 @@ Two evaluators share that contract:
   the prefix-cached :class:`~repro.cost.incremental.IncrementalEvaluator`,
   with optional bound pruning, and the budget can be charged either per
   plan (the paper's published accounting) or per join actually evaluated.
+* :class:`BatchEvaluator` — the array path: whole candidate batches are
+  priced by the vectorized kernel
+  (:class:`~repro.cost.vectorized.ArrayContext`), then adopted one by one
+  through :meth:`BatchEvaluator.consume` so budget charges, best/trajectory
+  updates, and early-stopping all happen in the scalar order.
 
 The *candidate protocol* (:meth:`Evaluator.evaluate_candidate`,
 :meth:`Evaluator.commit_candidate`, :meth:`Evaluator.prime`) is what the
 search loops call; on the base evaluator it degrades to plain
-``evaluate``, so every strategy runs unchanged on either evaluator.
+``evaluate``, so every strategy runs unchanged on either evaluator.  The
+*batch protocol* (:meth:`BatchEvaluator.price_batch` +
+:meth:`BatchEvaluator.consume`) is opt-in: loops check the evaluator's
+``supports_batch`` flag and fall back to the candidate protocol otherwise.
 """
 
 from __future__ import annotations
 
 import math
 from bisect import bisect_right
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.catalog.join_graph import JoinGraph
 from repro.core.budget import Budget, BudgetExhausted
 from repro.cost.base import CostModel
 from repro.cost.incremental import IncrementalEvaluator, supports_incremental
+from repro.cost.vectorized import ArrayContext
 from repro.obs import events as obs_events
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.plans.join_order import JoinOrder
@@ -66,6 +76,10 @@ class Evaluator:
     solution at or below it has been recorded — optimizers treat it like
     budget exhaustion and return the best solution found.
     """
+
+    #: Whether the batch protocol (``price_batch``/``consume``) is
+    #: available; search loops branch on this one attribute.
+    supports_batch = False
 
     def __init__(
         self,
@@ -182,6 +196,21 @@ class Evaluator:
         if index == 0:
             return None
         return self.trajectory[index - 1][1]
+
+    def _safe_bound(self, upper_bound: float | None) -> float | None:
+        """Clamp the caller's bound so pruning can never affect ``best``.
+
+        A pruned candidate costs strictly more than the effective bound;
+        keeping that bound at or above the best recorded cost (and
+        disabling pruning while nothing is recorded) guarantees the pruned
+        candidate could not have become the new best — the trajectory
+        stays identical to the reference oracle's.
+        """
+        if upper_bound is None or self.best is None:
+            return None
+        if upper_bound < self.best.cost:
+            return self.best.cost
+        return upper_bound
 
 
 class DeltaEvaluator(Evaluator):
@@ -313,23 +342,155 @@ class DeltaEvaluator(Evaluator):
     def prime(self, order: JoinOrder) -> None:
         self.engine.prime(order.positions)
 
-    def _safe_bound(self, upper_bound: float | None) -> float | None:
-        """Clamp the caller's bound so pruning can never affect ``best``.
-
-        A pruned candidate costs strictly more than the effective bound;
-        keeping that bound at or above the best recorded cost (and
-        disabling pruning while nothing is recorded) guarantees the pruned
-        candidate could not have become the new best — the trajectory
-        stays identical to the reference oracle's.
-        """
-        if upper_bound is None or self.best is None:
-            return None
-        if upper_bound < self.best.cost:
-            return self.best.cost
-        return upper_bound
-
     def _require_budget(self) -> None:
         if self.budget.exhausted:
             raise BudgetExhausted(
                 "budget exhausted before evaluation (per-join accounting)"
             )
+
+
+class BatchEvaluator(Evaluator):
+    """Evaluator backed by the vectorized batch kernel.
+
+    Search loops that understand the batch protocol collect a window of
+    candidate orders, price them all at once through :meth:`price_batch`
+    (one :meth:`~repro.cost.vectorized.ArrayContext.batch_costs` sweep),
+    and then adopt each row in the original candidate order through
+    :meth:`consume`.  Splitting pricing from adoption keeps the observable
+    sequence — budget charges, ``best``/trajectory updates,
+    :class:`~repro.core.budget.BudgetExhausted` and :class:`TargetReached`
+    points — identical to the scalar evaluators: pricing touches no shared
+    state, and :meth:`consume` replays the scalar bookkeeping row by row.
+
+    Budget accounting is per-plan only (the reference oracle's mode): the
+    kernel always walks every join, so per-join accounting would gain
+    nothing and the published budgets stay bit-for-bit comparable.
+
+    A ``saturated`` row is one the kernel clamped to keep the batch
+    finite where the scalar walk raises
+    :class:`~repro.cost.cardinality.CostOverflowError`; :meth:`consume`
+    re-dispatches such rows to the scalar model so callers see the genuine
+    exception, not a poisoned float.
+
+    Without numpy the kernel degrades to a per-row scalar walk
+    (:attr:`~repro.cost.vectorized.ArrayContext.vectorized` is False) —
+    same results, no speedup.
+    """
+
+    supports_batch = True
+
+    #: Model eligibility test, mirroring ``DeltaEvaluator.supports``.
+    supports = staticmethod(supports_incremental)
+
+    def __init__(
+        self,
+        graph: JoinGraph,
+        model: CostModel,
+        budget: Budget,
+        target_cost: float | None = None,
+        record_floor: float | None = None,
+    ) -> None:
+        super().__init__(
+            graph, model, budget, target_cost=target_cost,
+            record_floor=record_floor,
+        )
+        self.context = ArrayContext(graph, model)
+        #: Kernel sweeps performed.
+        self.n_batches = 0
+        #: Rows the kernel flagged as saturated (scalar overflow).
+        self.n_saturated = 0
+        #: Consumed rows discarded by the bound emulation.
+        self.n_pruned = 0
+
+    def price_batch(
+        self, orders: Sequence[Sequence[int]]
+    ) -> tuple[list[float], list[bool]]:
+        """Price a batch of candidate orders in one kernel sweep.
+
+        Pricing is free and side-effect-free: nothing is charged, recorded,
+        or raised here.  Each returned ``(cost, saturated)`` row must be
+        fed back through :meth:`consume` (in candidate order) to take
+        effect; rows abandoned after a mid-batch stop are simply dropped,
+        exactly as the scalar path never evaluates them.
+        """
+        costs, saturated = self.context.batch_costs(orders, validate=False)
+        cost_list = [float(cost) for cost in costs]
+        flag_list = [bool(flag) for flag in saturated]
+        self.n_batches += 1
+        n_saturated = sum(flag_list)
+        self.n_saturated += n_saturated
+        if self.tracer.enabled:
+            metrics = self.tracer.metrics
+            metrics.inc("batch_kernel_invocations")
+            metrics.observe("batch_size", float(len(cost_list)))
+            if n_saturated:
+                metrics.inc("batch_saturated_rows", float(n_saturated))
+        return cost_list, flag_list
+
+    def consume(
+        self,
+        order: JoinOrder,
+        cost: float,
+        saturated: bool,
+        upper_bound: float | None = None,
+    ) -> float | None:
+        """Adopt one priced row with the scalar evaluator's bookkeeping.
+
+        Charges ``n_joins`` up front (per-plan accounting), then either
+        re-raises the scalar :class:`CostOverflowError` for a saturated
+        row, prunes against ``upper_bound`` (``None`` return, not
+        recorded — the bound emulation matches ``DeltaEvaluator``), or
+        records the cost and checks the early-stopping target.
+        """
+        self.budget.charge(float(self.graph.n_joins))
+        if saturated:
+            # The kernel clamped this row; the scalar walk raises the
+            # genuine exception (and is the oracle if it disagrees).
+            cost = self.model.plan_cost(order, self.graph)
+        self.n_evaluations += 1
+        bound = self._safe_bound(upper_bound)
+        pruned = bound is not None and cost > bound
+        if pruned:
+            self.n_pruned += 1
+        else:
+            self._record(order, cost)
+        if self.tracer.enabled:
+            self._trace_consume(pruned)
+        self._check_target()
+        return None if pruned else cost
+
+    def evaluate_candidate(
+        self,
+        order: JoinOrder,
+        upper_bound: float | None = None,
+        first_changed: int | None = None,
+    ) -> float | None:
+        """Scalar fallback for loops that price candidates one at a time.
+
+        Identical bookkeeping to :meth:`consume`, priced by a scalar walk
+        — used by strategies (heuristics, WALK) that never batch.
+        ``first_changed`` is advisory and ignored: there is no prefix
+        cache here.
+        """
+        self.budget.charge(float(self.graph.n_joins))
+        cost = self.model.plan_cost(order, self.graph)
+        self.n_evaluations += 1
+        bound = self._safe_bound(upper_bound)
+        pruned = bound is not None and cost > bound
+        if pruned:
+            self.n_pruned += 1
+        else:
+            self._record(order, cost)
+        if self.tracer.enabled:
+            self._trace_consume(pruned)
+        self._check_target()
+        return None if pruned else cost
+
+    def _trace_consume(self, pruned: bool) -> None:
+        """Cold path: metric updates for one adopted row."""
+        metrics = self.tracer.metrics
+        metrics.inc("evaluations")
+        metrics.inc("joins_walked", float(self.graph.n_joins))
+        metrics.inc("joins_charged", float(self.graph.n_joins))
+        if pruned:
+            metrics.inc("pruned")

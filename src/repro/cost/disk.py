@@ -45,8 +45,15 @@ class DiskCostModel(CostModel):
         self.cpu_weight = check_positive("cpu_weight", cpu_weight)
 
     def pages(self, tuples: float) -> float:
-        """Pages needed to hold ``tuples`` tuples (at least one)."""
-        return max(1.0, math.ceil(tuples / self.tuples_per_page))
+        """Pages needed to hold ``tuples`` tuples (at least one).
+
+        Normalized to float64: ``math.ceil`` returns an arbitrary-precision
+        ``int``, whose exact integer arithmetic silently diverges from the
+        vectorized kernel's float64 above 2**53 — a regime where page
+        counts carry no ordering information anyway (cardinalities are
+        clamped long before costs matter there).
+        """
+        return max(1.0, float(math.ceil(tuples / self.tuples_per_page)))
 
     def partition_passes(self, inner_pages: float) -> int:
         """Number of partitioning passes needed for the inner operand."""

@@ -118,6 +118,7 @@ class OptimizeJob:
     units_per_n2: float = DEFAULT_UNITS_PER_N2
     params: MethodParams | None = None
     incremental: bool = True
+    batch_costing: bool = False
     budget_accounting: str = PER_PLAN
     record_floor: float | None = None
     stop_at_bound: bool = False
@@ -167,6 +168,7 @@ def run_job(job: OptimizeJob) -> JobOutcome:
             stop_at_bound=job.stop_at_bound,
             bound_tolerance=job.bound_tolerance,
             incremental=job.incremental,
+            batch_costing=job.batch_costing,
             budget_accounting=job.budget_accounting,
             record_floor=job.record_floor,
             trace=tracer,
@@ -274,6 +276,7 @@ def multi_start_optimize(
     restarts: int | None = None,
     workers: int | None = None,
     incremental: bool = True,
+    batch_costing: bool = False,
     budget_accounting: str = PER_PLAN,
     stop_at_bound: bool = False,
     bound_tolerance: float = 1.05,
@@ -373,6 +376,7 @@ def multi_start_optimize(
             units_per_n2=units_per_n2,
             params=params,
             incremental=incremental,
+            batch_costing=batch_costing,
             budget_accounting=budget_accounting,
             record_floor=floor,
             stop_at_bound=stop_at_bound,

@@ -44,7 +44,6 @@ from repro.cost.base import CostModel
 from repro.cost.memory import MainMemoryCostModel
 from repro.obs import events as obs_events
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.parallel.orchestrator import JobOutcome, OptimizeJob, map_jobs
 from repro.robustness.estimates import DISTRIBUTIONS, LOG_NORMAL, ErrorModel
 from repro.robustness.resilience import FailureLog
 from repro.utils.rng import derive_seed
@@ -217,6 +216,11 @@ def run_robustness(
     :func:`repro.parallel.map_jobs` call, so ``config.workers`` scales
     the harness without changing a byte of the report.
     """
+    # Imported here, not at module top: the orchestrator imports this
+    # package (for InjectedFault / the resilience helpers), so a module-
+    # level back-edge would make ``import repro.parallel`` order-dependent.
+    from repro.parallel.orchestrator import JobOutcome, OptimizeJob, map_jobs
+
     if config is None:
         config = RobustnessConfig()
     if model is None:

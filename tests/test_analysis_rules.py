@@ -102,6 +102,36 @@ def test_det001_allows_seeded_and_injected_rng() -> None:
     assert "DET001" not in codes(findings)
 
 
+def test_det001_flags_unseeded_numpy_generator() -> None:
+    # numpy's modern Generator API is on the seeded-constructor allowlist:
+    # fine with a seed, flagged without one (it falls back to OS entropy).
+    findings = analyze(
+        """
+        import numpy as np
+
+        def fresh():
+            return np.random.default_rng()
+        """
+    )
+    assert "DET001" in codes(findings)
+
+
+def test_det001_allows_seeded_numpy_generator() -> None:
+    findings = analyze(
+        """
+        import numpy as np
+        from numpy.random import default_rng
+
+        def seeded(seed: int):
+            return default_rng(seed)
+
+        def derived(sequence: np.random.SeedSequence):
+            return np.random.default_rng(sequence)
+        """
+    )
+    assert "DET001" not in codes(findings)
+
+
 def test_det001_allowlisted_path_is_exempt() -> None:
     config = DetlintConfig(
         root="/nonexistent",

@@ -1,0 +1,327 @@
+"""Bit-identity of ``optimize(batch_costing=True)`` with the scalar paths.
+
+Batched costing speculates runs of moves under the all-rejected
+assumption, prices them through the vectorized kernel, and replays the
+scalar bookkeeping move by move — restoring RNG snapshots on acceptance
+so the observable random stream never diverges.  These tests hold the
+whole stack to that promise: every search method, both cost models,
+bound-pruned annealing, parallel restarts, disconnected graphs, traced
+runs, and the no-numpy fallback must produce *exactly* the scalar
+result — order, cost, units spent, evaluation count, and trajectory.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.core.batching import BatchSizer, speculate_moves
+from repro.core.budget import Budget
+from repro.core.combinations import MethodParams, compare_methods
+from repro.core.moves import MoveSet
+from repro.core.optimizer import optimize
+from repro.core.state import BatchEvaluator, Evaluator
+from repro.cost import vectorized
+from repro.cost.cardinality import CostOverflowError
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.cost.static import StaticCostModel
+from repro.obs import RecordingTracer
+from repro.plans.validity import random_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+from .conftest import chain_graph, two_component_graph
+
+METHODS = (
+    "II", "SA", "SAA", "SAK", "IAI", "IKI", "IAL", "AGI", "KBI",
+    "2PO", "RANDOM", "WALK",
+)
+
+MODELS = (MainMemoryCostModel(), DiskCostModel())
+
+
+def run(query, method, *, seed=0, batch=False, **kwargs):
+    return optimize(
+        query,
+        method=method,
+        seed=seed,
+        time_factor=2.0,
+        batch_costing=batch,
+        **kwargs,
+    )
+
+
+def assert_same_result(a, b):
+    assert a.order == b.order
+    assert a.cost == b.cost
+    assert a.units_spent == b.units_spent
+    assert a.n_evaluations == b.n_evaluations
+    assert a.trajectory == b.trajectory
+
+
+# ---------------------------------------------------------------------------
+# Method sweep: batch ≡ incremental-scalar ≡ full-scalar
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_batch_matches_scalar_all_methods(method):
+    query = generate_query(DEFAULT_SPEC, n_joins=9, seed=21)
+    scalar = run(query, method)
+    batched = run(query, method, batch=True)
+    full = run(query, method, incremental=False)
+    assert_same_result(scalar, batched)
+    assert_same_result(scalar, full)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+@pytest.mark.parametrize("method", ("II", "SA", "IAL", "RANDOM"))
+def test_batch_matches_scalar_both_models(method, model):
+    query = generate_query(DEFAULT_SPEC, n_joins=12, seed=4)
+    assert_same_result(
+        run(query, method, model=model),
+        run(query, method, model=model, batch=True),
+    )
+
+
+@pytest.mark.parametrize("seed", (1, 7))
+@pytest.mark.parametrize("method", ("II", "SA", "2PO"))
+def test_batch_matches_scalar_across_seeds(method, seed):
+    query = generate_query(DEFAULT_SPEC, n_joins=8, seed=33)
+    assert_same_result(
+        run(query, method, seed=seed),
+        run(query, method, seed=seed, batch=True),
+    )
+
+
+@pytest.mark.parametrize("method", ("SA", "SAA", "2PO"))
+def test_batch_matches_scalar_with_bound_pruning(method):
+    query = generate_query(DEFAULT_SPEC, n_joins=10, seed=5)
+    params = MethodParams(sa_bound_pruning=True)
+    assert_same_result(
+        run(query, method, params=params),
+        run(query, method, params=params, batch=True),
+    )
+
+
+def test_batch_matches_scalar_with_early_stop():
+    query = generate_query(DEFAULT_SPEC, n_joins=10, seed=9)
+    assert_same_result(
+        run(query, "II", stop_at_bound=True),
+        run(query, "II", stop_at_bound=True, batch=True),
+    )
+
+
+def test_batch_matches_scalar_on_disconnected_graph():
+    graph = two_component_graph()
+    for method in ("II", "SA"):
+        assert_same_result(
+            run(graph, method),
+            run(graph, method, batch=True),
+        )
+
+
+def test_batch_matches_scalar_with_restarts_and_workers():
+    query = generate_query(DEFAULT_SPEC, n_joins=9, seed=2)
+    serial = run(query, "II", restarts=3, workers=1)
+    batched = run(query, "II", restarts=3, workers=1, batch=True)
+    threaded = run(query, "II", restarts=3, workers=2, batch=True)
+    assert_same_result(serial, batched)
+    assert_same_result(serial, threaded)
+
+
+def test_compare_methods_batch_parity():
+    query = generate_query(DEFAULT_SPEC, n_joins=8, seed=6)
+    scalar = compare_methods(query, methods=("II", "SA"), seed=1)
+    batched = compare_methods(
+        query, methods=("II", "SA"), seed=1, batch_costing=True
+    )
+    for name in ("II", "SA"):
+        assert_same_result(scalar[name], batched[name])
+
+
+# ---------------------------------------------------------------------------
+# Mode interactions
+
+
+def test_batch_with_per_join_accounting_is_rejected():
+    query = generate_query(DEFAULT_SPEC, n_joins=6, seed=0)
+    with pytest.raises(ValueError, match="per-join"):
+        optimize(query, batch_costing=True, budget_accounting="per-join")
+
+
+def test_unsupported_model_falls_back_to_scalar_evaluator():
+    # StaticCostModel overrides plan_cost: BatchEvaluator.supports is
+    # False, so batch_costing silently uses the base evaluator — results
+    # must still match the plain scalar run exactly.
+    query = generate_query(DEFAULT_SPEC, n_joins=8, seed=3)
+    model = StaticCostModel(MainMemoryCostModel())
+    assert not BatchEvaluator.supports(model)
+    assert_same_result(
+        run(query, "II", model=model),
+        run(query, "II", model=model, batch=True),
+    )
+
+
+def test_batch_without_numpy_matches_numpy(monkeypatch):
+    query = generate_query(DEFAULT_SPEC, n_joins=8, seed=13)
+    fast = run(query, "SA", batch=True)
+    monkeypatch.setattr(vectorized, "numpy", None)
+    monkeypatch.setattr(vectorized, "HAVE_NUMPY", False)
+    slow = run(query, "SA", batch=True)
+    assert_same_result(fast, slow)
+
+
+# ---------------------------------------------------------------------------
+# Tracing: batched runs stay trace-invariant and feed the batch counters
+
+
+@pytest.mark.parametrize("method", ("II", "SA", "RANDOM"))
+def test_traced_batched_run_matches_untraced(method):
+    query = generate_query(DEFAULT_SPEC, n_joins=9, seed=8)
+    untraced = run(query, method, batch=True)
+    tracer = RecordingTracer()
+    traced = run(query, method, batch=True, trace=tracer)
+    assert_same_result(untraced, traced)
+    metrics = tracer.metrics
+    kernel = metrics.counters.get("batch_kernel_invocations")
+    assert kernel is not None and kernel > 0
+    sizes = metrics.histograms.get("batch_size")
+    assert sizes is not None and sizes.count == kernel
+    assert sizes.total >= sizes.count  # batches hold >= 1 candidate
+
+
+def test_traced_batched_equals_traced_scalar_metrics():
+    # The move/evaluation counters a batched run reports must equal the
+    # scalar run's: the batch layer only changes *when* pricing happens.
+    query = generate_query(DEFAULT_SPEC, n_joins=9, seed=15)
+    scalar_tracer = RecordingTracer()
+    batch_tracer = RecordingTracer()
+    assert_same_result(
+        run(query, "II", trace=scalar_tracer),
+        run(query, "II", batch=True, trace=batch_tracer),
+    )
+    for counter in (
+        "evaluations", "moves_accepted", "moves_rejected",
+        "moves_pruned", "restarts",
+    ):
+        assert scalar_tracer.metrics.counters.get(counter) == \
+            batch_tracer.metrics.counters.get(counter), counter
+
+
+# ---------------------------------------------------------------------------
+# BatchEvaluator unit behaviour
+
+
+def graph_and_budget():
+    graph = generate_query(DEFAULT_SPEC, n_joins=7, seed=42).graph
+    return graph, Budget.unlimited()
+
+
+def test_price_batch_then_consume_matches_scalar_evaluator():
+    graph, _ = graph_and_budget()
+    model = MainMemoryCostModel()
+    rng = random.Random(0)
+    orders = [random_valid_order(graph, rng) for _ in range(16)]
+    batch_ev = BatchEvaluator(graph, model, Budget.unlimited())
+    scalar_ev = Evaluator(graph, model, Budget.unlimited())
+    costs, saturated = batch_ev.price_batch([o.positions for o in orders])
+    for order, cost, flag in zip(orders, costs, saturated):
+        got = batch_ev.consume(order, cost, flag)
+        want = scalar_ev.evaluate_candidate(order)
+        assert got == want
+    assert batch_ev.n_evaluations == scalar_ev.n_evaluations
+    assert batch_ev.budget.spent == scalar_ev.budget.spent
+    assert batch_ev.best.order == scalar_ev.best.order
+    assert batch_ev.best.cost == scalar_ev.best.cost
+
+
+def test_consume_redispatches_saturated_rows_to_the_scalar_oracle():
+    relations = [Relation("a", 100), Relation("b", 50)]
+    graph = JoinGraph(relations, [JoinPredicate(0, 1, 10.0, 5.0)])
+    poisoned = list(graph.relations)
+    import copy
+    bad = copy.copy(poisoned[0])
+    object.__setattr__(bad, "base_cardinality", math.inf)
+    poisoned[0] = bad
+    graph = JoinGraph(poisoned, list(graph.predicates), validate=False)
+    evaluator = BatchEvaluator(graph, MainMemoryCostModel(), Budget.unlimited())
+    order = random_valid_order(graph, random.Random(0))
+    costs, saturated = evaluator.price_batch([order.positions])
+    assert bool(saturated[0]) and math.isinf(float(costs[0]))
+    with pytest.raises(CostOverflowError):
+        evaluator.consume(order, float(costs[0]), bool(saturated[0]))
+    assert evaluator.n_saturated == 1
+
+
+def test_price_batch_is_side_effect_free():
+    graph, budget = graph_and_budget()
+    evaluator = BatchEvaluator(graph, MainMemoryCostModel(), budget)
+    order = random_valid_order(graph, random.Random(1))
+    evaluator.price_batch([order.positions] * 4)
+    assert evaluator.budget.spent == 0.0
+    assert evaluator.n_evaluations == 0
+    assert evaluator.best is None
+    assert evaluator.n_batches == 1
+
+
+# ---------------------------------------------------------------------------
+# Speculation primitives
+
+
+def test_speculated_snapshots_replay_the_draw_stream():
+    graph = chain_graph()
+    move_set = MoveSet()
+    order = random_valid_order(graph, random.Random(3))
+    rng = random.Random(99)
+    specs, exhausted = speculate_moves(order, graph, move_set, rng, 6)
+    assert not exhausted and len(specs) == 6
+    # Restoring the snapshot after spec[i] and redrawing must reproduce
+    # spec[i+1] exactly: that is the all-rejected replay invariant.
+    for i in range(len(specs) - 1):
+        rng.setstate(specs[i].state_after_move)
+        move, neighbor = move_set.random_valid_move(order, graph, rng)
+        assert move == specs[i + 1].move
+        assert neighbor == specs[i + 1].neighbor
+
+
+def test_speculated_uniforms_follow_their_move_draw():
+    graph = chain_graph()
+    move_set = MoveSet()
+    order = random_valid_order(graph, random.Random(3))
+    rng = random.Random(7)
+    specs, _ = speculate_moves(
+        order, graph, move_set, rng, 4, draw_uniform=True
+    )
+    for spec in specs:
+        assert spec.u is not None and 0.0 <= spec.u < 1.0
+        assert spec.state_after_u is not None
+        replay = random.Random()
+        replay.setstate(spec.state_after_move)
+        assert replay.random() == spec.u
+
+
+def test_batch_sizer_growth_and_shrink():
+    sizer = BatchSizer()
+    assert sizer.size == 8
+    sizer.grow()
+    sizer.grow()
+    assert sizer.size == 32
+    for _ in range(10):
+        sizer.grow()
+    assert sizer.size == 128  # capped
+    sizer.shrink(3)
+    assert sizer.size == 6  # 2 * consumed
+    sizer.shrink(1)
+    assert sizer.size == 4  # floored at minimum
+    sizer.shrink(1000)
+    assert sizer.size == 128  # re-capped
+    with pytest.raises(ValueError):
+        BatchSizer(initial=2, minimum=4, maximum=128)
+    with pytest.raises(ValueError):
+        BatchSizer(initial=16, minimum=4, maximum=8)

@@ -1,0 +1,331 @@
+"""Bit-parity suite for the vectorized batch cost kernel.
+
+The kernel promises *bitwise* agreement with the scalar oracle
+(:meth:`CostModel.plan_cost`) on every plan the scalar walk prices, and
+masked saturation (``cost == inf``, ``saturated == True``) exactly where
+the scalar walk raises :class:`CostOverflowError` — including non-finite
+cardinalities, cross-product steps, and plans whose per-join costs are
+finite but whose total overflows.  Both promises are exercised over
+random graphs × both cost models × adversarial shapes, and the
+pure-python fallback is held to the same contract with numpy masked out.
+"""
+
+from __future__ import annotations
+
+import copy
+import math
+import random
+from itertools import permutations
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.cost import vectorized
+from repro.cost.cardinality import CostOverflowError
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.cost.static import StaticCostModel
+from repro.cost.vectorized import (
+    ArrayContext,
+    HAVE_NUMPY,
+    batch_plan_cost,
+    supports_vectorized,
+)
+from repro.plans.validity import random_valid_order
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+from .conftest import chain_graph, cycle_graph, star_graph
+
+MODELS = (MainMemoryCostModel(), DiskCostModel())
+
+RANDOM_GRAPHS = tuple(
+    generate_query(
+        DEFAULT_SPEC,
+        n_joins=random.Random(index).choice((4, 7, 12, 20, 30)),
+        seed=2000 + index,
+    ).graph
+    for index in range(8)
+)
+
+
+def scalar_reference(graph, model, order):
+    """``(cost, overflowed)`` from the scalar oracle."""
+    try:
+        return model.plan_cost(order, graph), False
+    except CostOverflowError:
+        return math.inf, True
+
+
+def assert_batch_matches_scalar(graph, model, orders):
+    """Every row must be bitwise equal to the oracle, saturation included."""
+    context = ArrayContext(graph, model)
+    costs, saturated = context.batch_costs([o.positions for o in orders])
+    for row, order in enumerate(orders):
+        expected, overflowed = scalar_reference(graph, model, order)
+        assert bool(saturated[row]) == overflowed, (
+            f"row {row}: saturation {bool(saturated[row])} but scalar "
+            f"overflow {overflowed}"
+        )
+        if overflowed:
+            assert math.isinf(costs[row])
+        else:
+            assert float(costs[row]) == expected, (
+                f"row {row}: batch {costs[row]!r} != scalar {expected!r}"
+            )
+
+
+# ---------------------------------------------------------------------------
+# Random-graph parity
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_random_graph_parity(model):
+    for graph in RANDOM_GRAPHS:
+        rng = random.Random(graph.n_relations)
+        orders = [random_valid_order(graph, rng) for _ in range(40)]
+        assert_batch_matches_scalar(graph, model, orders)
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+@pytest.mark.parametrize(
+    "factory", (chain_graph, star_graph, cycle_graph),
+    ids=("chain", "star", "cycle"),
+)
+def test_hand_built_shapes_exhaustive(model, factory):
+    graph = factory()
+    orders = [
+        type(random_valid_order(graph, random.Random(0)))(perm)
+        for perm in permutations(range(graph.n_relations))
+    ]
+    # Include invalid (cross-product) orders too: plan_cost prices them
+    # and so must the kernel.
+    assert_batch_matches_scalar(graph, model, orders)
+
+
+# ---------------------------------------------------------------------------
+# Overflow / clamp parity (the adversarial shapes)
+
+
+def _corrupt(graph: JoinGraph, index: int, cardinality: float) -> JoinGraph:
+    """A copy of ``graph`` with one relation's base cardinality poisoned."""
+    relations = list(graph.relations)
+    bad = copy.copy(relations[index])
+    object.__setattr__(bad, "base_cardinality", cardinality)
+    relations[index] = bad
+    return JoinGraph(relations, list(graph.predicates), validate=False)
+
+
+def _huge_graph() -> JoinGraph:
+    """Cardinalities big enough to trip the clamp and the inf product."""
+    relations = [
+        Relation("a", 10.0**200),
+        Relation("b", 10.0**160),
+        Relation("c", 1000.0),
+        Relation("d", 10.0**120),
+    ]
+    predicates = [
+        JoinPredicate(0, 1, 10.0**50, 10.0**40),
+        JoinPredicate(1, 2, 100.0, 50.0),
+        JoinPredicate(2, 3, 10.0, 10.0**60),
+    ]
+    return JoinGraph(relations, predicates)
+
+
+def _cross_product_graph() -> JoinGraph:
+    """Sparse predicates: most orders hit cross-product (selectivity 1)."""
+    relations = [Relation(f"r{i}", float(50 + 13 * i)) for i in range(5)]
+    predicates = [JoinPredicate(0, 1, 7.0, 5.0), JoinPredicate(3, 4, 9.0, 4.0)]
+    return JoinGraph(relations, predicates, validate=False)
+
+
+def _all_orders(graph):
+    rng = random.Random(0)
+    sample = random_valid_order(graph, rng)
+    return [type(sample)(perm) for perm in permutations(range(graph.n_relations))]
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_huge_cardinalities_clamp_parity(model):
+    graph = _huge_graph()
+    assert_batch_matches_scalar(graph, model, _all_orders(graph))
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+@pytest.mark.parametrize("poison", (math.inf, math.nan), ids=("inf", "nan"))
+def test_nonfinite_cardinality_parity(model, poison):
+    # inf survives Relation.cardinality's ``max(1.0, ...)`` clamp and must
+    # saturate exactly where the scalar walk raises; NaN is swallowed by
+    # that clamp (``max(1.0, nan) == 1.0``) on BOTH paths, so parity here
+    # means neither side saturates.
+    graph = _corrupt(chain_graph(), 1, poison)
+    if poison is math.inf:
+        assert any(
+            scalar_reference(graph, model, order)[1]
+            for order in _all_orders(graph)
+        )
+    assert_batch_matches_scalar(graph, model, _all_orders(graph))
+
+
+@pytest.mark.parametrize("model", MODELS, ids=lambda m: m.name)
+def test_cross_product_steps_parity(model):
+    graph = _cross_product_graph()
+    assert_batch_matches_scalar(graph, model, _all_orders(graph))
+
+
+def test_nonfinite_total_saturates_like_plan_cost():
+    # Per-join costs finite, total overflows: plan_cost's closing check
+    # raises, the kernel's closing mask must flag the same rows.
+    graph = _corrupt(_corrupt(chain_graph(), 0, 10.0**140), 2, 10.0**140)
+    model = MainMemoryCostModel(build_cost=1e300, output_cost=1e300)
+    assert_batch_matches_scalar(graph, model, _all_orders(graph))
+
+
+def test_saturated_row_never_contaminates_batchmates():
+    graph = _corrupt(chain_graph(), 1, math.inf)
+    model = MainMemoryCostModel()
+    orders = _all_orders(graph)
+    costs, saturated = ArrayContext(graph, model).batch_costs(
+        [o.positions for o in orders]
+    )
+    assert any(saturated), "corruption should saturate at least one row"
+    # Every row touches the poisoned relation, so every row saturates —
+    # and every finite-side check lives in assert_batch_matches_scalar.
+    # What masked saturation additionally promises: a clean graph priced
+    # by a *fresh* context over the same orders stays all-finite (no state
+    # leaks between contexts or batches).
+    clean_costs, clean_sat = ArrayContext(chain_graph(), model).batch_costs(
+        [o.positions for o in orders]
+    )
+    assert not any(clean_sat)
+    assert all(math.isfinite(float(c)) for c in clean_costs)
+
+
+# ---------------------------------------------------------------------------
+# batch_plan_cost convenience + validation
+
+
+def test_batch_plan_cost_matches_scalar_and_reports_inf():
+    graph = _corrupt(chain_graph(), 1, math.inf)
+    model = MainMemoryCostModel()
+    orders = _all_orders(graph)
+    costs = batch_plan_cost([o.positions for o in orders], graph, model)
+    for row, order in enumerate(orders):
+        expected, overflowed = scalar_reference(graph, model, order)
+        assert math.isinf(float(costs[row])) if overflowed else (
+            float(costs[row]) == expected
+        )
+
+
+def test_rejects_non_permutation_rows():
+    graph = chain_graph()
+    context = ArrayContext(graph, MainMemoryCostModel())
+    with pytest.raises(ValueError, match="permutation"):
+        context.batch_plan_cost([[0, 0, 1, 2, 3]])
+    # The numpy path reports a shape mismatch, the fallback a
+    # non-permutation row; both refuse the malformed batch.
+    with pytest.raises(ValueError, match="shaped|permutation"):
+        context.batch_plan_cost([[0, 1]])
+
+
+def test_rejects_plan_cost_overriding_models():
+    graph = chain_graph()
+    with pytest.raises(ValueError, match="overrides plan_cost"):
+        ArrayContext(graph, StaticCostModel(MainMemoryCostModel()))
+    assert not supports_vectorized(StaticCostModel(MainMemoryCostModel()))
+
+
+def test_subclassed_model_takes_fallback_not_kernel():
+    class Tweaked(MainMemoryCostModel):
+        def join_cost(self, outer_size, inner_size, result_size):
+            return 1.0
+
+    model = Tweaked()
+    assert not supports_vectorized(model)
+    graph = chain_graph()
+    context = ArrayContext(graph, model)  # eligible, just not vectorized
+    assert not context.vectorized
+    orders = _all_orders(graph)
+    costs, saturated = context.batch_costs([o.positions for o in orders])
+    for row, order in enumerate(orders):
+        assert costs[row] == model.plan_cost(order, graph)
+        assert not saturated[row]
+
+
+def test_empty_batch():
+    context = ArrayContext(chain_graph(), MainMemoryCostModel())
+    costs, saturated = context.batch_costs([])
+    assert len(costs) == 0 and len(saturated) == 0
+
+
+# ---------------------------------------------------------------------------
+# Pure-python fallback (the core install has no numpy)
+
+
+def test_fallback_matches_numpy_kernel(monkeypatch):
+    graph = RANDOM_GRAPHS[0]
+    rng = random.Random(7)
+    orders = [random_valid_order(graph, rng) for _ in range(25)]
+    rows = [o.positions for o in orders]
+    for model in MODELS:
+        reference = ArrayContext(graph, model).batch_costs(rows)
+        monkeypatch.setattr(vectorized, "numpy", None)
+        monkeypatch.setattr(vectorized, "HAVE_NUMPY", False)
+        fallback_context = ArrayContext(graph, model)
+        assert not fallback_context.vectorized
+        fallback = fallback_context.batch_costs(rows)
+        monkeypatch.undo()
+        assert list(map(float, reference[0])) == fallback[0]
+        assert list(map(bool, reference[1])) == fallback[1]
+
+
+def test_fallback_saturation_parity(monkeypatch):
+    monkeypatch.setattr(vectorized, "numpy", None)
+    monkeypatch.setattr(vectorized, "HAVE_NUMPY", False)
+    graph = _corrupt(chain_graph(), 1, math.inf)
+    assert_batch_matches_scalar(graph, MainMemoryCostModel(), _all_orders(graph))
+
+
+def test_scalar_optimize_path_works_without_numpy(monkeypatch):
+    """The core install (no numpy) must optimize end to end, batch mode
+    included — the kernel degrades to the per-row fallback silently."""
+    monkeypatch.setattr(vectorized, "numpy", None)
+    monkeypatch.setattr(vectorized, "HAVE_NUMPY", False)
+    from repro.core.optimizer import optimize
+
+    query = generate_query(DEFAULT_SPEC, n_joins=7, seed=11)
+    plain = optimize(query, method="II", seed=3, time_factor=2.0)
+    monkeypatch.undo()
+    with_numpy = optimize(query, method="II", seed=3, time_factor=2.0)
+    assert plain.order == with_numpy.order
+    assert plain.cost == with_numpy.cost
+    assert plain.trajectory == with_numpy.trajectory
+
+
+def test_batched_optimize_matches_with_and_without_numpy(monkeypatch):
+    from repro.core.optimizer import optimize
+
+    query = generate_query(DEFAULT_SPEC, n_joins=7, seed=11)
+    fast = optimize(
+        query, method="SA", seed=5, time_factor=2.0, batch_costing=True
+    )
+    monkeypatch.setattr(vectorized, "numpy", None)
+    monkeypatch.setattr(vectorized, "HAVE_NUMPY", False)
+    slow = optimize(
+        query, method="SA", seed=5, time_factor=2.0, batch_costing=True
+    )
+    assert fast.order == slow.order
+    assert fast.cost == slow.cost
+    assert fast.trajectory == slow.trajectory
+
+
+def test_supports_vectorized_tracks_numpy_availability():
+    """With numpy installed the built-in models take the kernel; without
+    it (CI's no-numpy leg) they — and everything else — take the
+    fallback.  Either way eligibility must track HAVE_NUMPY exactly."""
+    assert supports_vectorized(MainMemoryCostModel()) == HAVE_NUMPY
+    assert supports_vectorized(DiskCostModel()) == HAVE_NUMPY
+    context = ArrayContext(chain_graph(), MainMemoryCostModel())
+    assert context.vectorized == HAVE_NUMPY
