@@ -1,0 +1,186 @@
+"""Perf bench: pruning power of the exact branch-and-bound.
+
+The branch-and-bound (:mod:`repro.core.exact`) promises bitwise-exact
+optima; its performance contract is that bound + dominance pruning
+removes the overwhelming majority of the work exhaustive enumeration
+would do.  This bench makes that ratio a number: for each seeded query
+it counts the cost evaluations full enumeration needs — every valid
+order prefix of length ≥ 2 charges one evaluation, counted exactly by a
+subset DP over prefix *sets* (for a connected graph, prefix validity is
+mask-determined, so ``f[mask] = Σ f[mask \\ {v}]`` over removable last
+relations counts ordered valid prefixes without materializing them) —
+and divides by the evaluations the search actually charged.
+
+Both numbers are seed-determined (no timing involved), so the asserted
+floor :data:`MIN_PRUNING_RATIO` is a hard regression gate, not a noisy
+threshold: observed ratios on these workloads are 29–550x.  Every run
+writes ``results/BENCH_exact.json`` so the per-query series is
+machine-diffable per PR.
+
+Run directly, this module is the exact-search smoke check::
+
+    PYTHONPATH=src python benchmarks/test_perf_exact.py --smoke [--json]
+"""
+
+import time
+
+import pytest
+
+from bench_utils import save_and_print, write_bench_json
+
+from repro.core.exact import exact_optimum
+from repro.cost.disk import DiskCostModel
+from repro.cost.memory import MainMemoryCostModel
+from repro.workloads.benchmarks import DEFAULT_SPEC
+from repro.workloads.generator import generate_query
+
+#: Asserted floor on exhaustive-evaluations / branch-and-bound
+#: evaluations, per query.  Deterministic — a drop below this means the
+#: pruning rules themselves regressed.
+MIN_PRUNING_RATIO = 10.0
+
+#: (n_joins, seed) per measured query; smoke mode uses the first two.
+WORKLOAD = ((9, 0), (10, 0), (10, 1), (11, 2))
+
+
+def count_exhaustive_evaluations(graph) -> int:
+    """Cost evaluations exhaustive enumeration would charge.
+
+    One per valid prefix of length ≥ 2 (each such prefix prices exactly
+    one new join).  Counted by subset DP: connected graphs make prefix
+    validity a function of the prefix *set*, so ordered prefixes of a
+    mask are ``Σ f[mask without v]`` over members ``v`` still leaving a
+    valid shorter prefix.
+    """
+    n = graph.n_relations
+    neighbor_masks = [0] * n
+    for vertex in range(n):
+        for neighbor in graph.neighbors(vertex):
+            neighbor_masks[vertex] |= 1 << neighbor
+    counts = {1 << vertex: 1 for vertex in range(n)}
+    by_size: list[list[int]] = [[] for _ in range(n + 1)]
+    for mask in range(1, 1 << n):
+        by_size[bin(mask).count("1")].append(mask)
+    total = 0
+    for size in range(2, n + 1):
+        for mask in by_size[size]:
+            orderings = 0
+            for vertex in range(n):
+                bit = 1 << vertex
+                if mask & bit and neighbor_masks[vertex] & (mask ^ bit):
+                    orderings += counts.get(mask ^ bit, 0)
+            if orderings:
+                counts[mask] = orderings
+                total += orderings
+    return total
+
+
+def measure_pruning(workload=WORKLOAD, seed_base: int = 0) -> dict:
+    """Per-query pruning ratios for both cost models, plus wall times."""
+    points = []
+    for n_joins, seed in workload:
+        query = generate_query(DEFAULT_SPEC, n_joins, seed)
+        exhaustive = count_exhaustive_evaluations(query.graph)
+        for model_name, model in (
+            ("memory", MainMemoryCostModel()),
+            ("disk", DiskCostModel()),
+        ):
+            start = time.perf_counter()
+            result = exact_optimum(
+                query.graph, model, max_relations=18, seed=seed_base
+            )
+            elapsed = time.perf_counter() - start
+            points.append(
+                {
+                    "n_joins": n_joins,
+                    "seed": seed,
+                    "model": model_name,
+                    "exhaustive_evaluations": exhaustive,
+                    "bnb_evaluations": result.n_cost_evaluations,
+                    "nodes_expanded": result.nodes_expanded,
+                    "nodes_pruned_bound": result.nodes_pruned_bound,
+                    "nodes_pruned_dominated": result.nodes_pruned_dominated,
+                    "pruning_ratio": round(
+                        exhaustive / result.n_cost_evaluations, 2
+                    ),
+                    "seconds": round(elapsed, 4),
+                    "proven": result.proven,
+                }
+            )
+    return {
+        "benchmark": "exact-bnb-pruning",
+        "floor": MIN_PRUNING_RATIO,
+        "points": points,
+    }
+
+
+def _render(payload: dict) -> str:
+    lines = ["Exact branch-and-bound pruning vs exhaustive enumeration:"]
+    for point in payload["points"]:
+        lines.append(
+            f"  N={point['n_joins']} seed={point['seed']} "
+            f"{point['model']:<6}: {point['exhaustive_evaluations']:>9,} "
+            f"exhaustive vs {point['bnb_evaluations']:>6,} charged "
+            f"= {point['pruning_ratio']:>6.1f}x  "
+            f"({point['seconds']:.3f}s, proven={point['proven']})"
+        )
+    lines.append(f"asserted floor: {payload['floor']:.1f}x per query")
+    return "\n".join(lines)
+
+
+@pytest.mark.slow
+def test_bnb_prunes_exhaustive_search():
+    payload = measure_pruning()
+    path = write_bench_json("exact", payload)
+    save_and_print(
+        "exact_pruning", _render(payload) + f"\nmachine-readable: {path.name}"
+    )
+    for point in payload["points"]:
+        assert point["proven"], point
+        assert point["pruning_ratio"] >= MIN_PRUNING_RATIO, (
+            f"N={point['n_joins']} seed={point['seed']} {point['model']}: "
+            f"pruning ratio {point['pruning_ratio']:.1f}x fell below the "
+            f"{MIN_PRUNING_RATIO:.1f}x floor — the bound/dominance rules "
+            "have regressed"
+        )
+
+
+def _smoke_main(argv: list[str] | None = None) -> int:
+    """Reduced-size smoke: two queries, same ratio gate, CI-friendly."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the exact branch-and-bound."
+    )
+    parser.add_argument("--smoke", action="store_true", help="run reduced bench")
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_exact.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+    payload = measure_pruning(workload=WORKLOAD[:2])
+    print(_render(payload))
+    if args.json:
+        path = write_bench_json("exact_smoke", payload)
+        print(f"wrote {path}")
+    failed = [
+        point
+        for point in payload["points"]
+        if not point["proven"] or point["pruning_ratio"] < MIN_PRUNING_RATIO
+    ]
+    if failed:
+        print(f"SMOKE FAIL: {len(failed)} point(s) below the pruning floor")
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+    from pathlib import Path
+
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+    raise SystemExit(_smoke_main())

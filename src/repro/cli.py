@@ -177,15 +177,64 @@ def _build_parser() -> argparse.ArgumentParser:
         default=list(PAPER_METHODS),
         help="methods to compare",
     )
+    cmd.add_argument(
+        "--gap",
+        action="store_true",
+        help="also run the exact branch-and-bound and add a true-cost/"
+        "exact-optimum column (see docs/exact.md)",
+    )
+    cmd.add_argument(
+        "--max-exact",
+        type=int,
+        default=16,
+        help="relation ceiling for the exact pass; larger queries anchor "
+        "the gap to the hybrid (unproven) reference instead",
+    )
 
     cmd = sub.add_parser(
-        "exact", parents=[common], help="exact optimum by dynamic programming"
+        "exact",
+        parents=[common],
+        help="exact optimum (branch-and-bound or dynamic programming)",
     )
     cmd.add_argument(
         "--max-relations",
         type=int,
         default=16,
-        help="refuse DP beyond this many relations",
+        help="refuse the exponential search beyond this many relations",
+    )
+    cmd.add_argument(
+        "--engine",
+        choices=("dp", "bnb"),
+        default="dp",
+        help="'dp' is the System R subset DP (exact under the static "
+        "estimator); 'bnb' is the branch-and-bound, exact under the true "
+        "propagating model (see docs/exact.md)",
+    )
+
+    cmd = sub.add_parser(
+        "gap",
+        parents=[common, evaluation, parallelism],
+        help="optimality gaps: every method's true cost / exact optimum",
+    )
+    cmd.set_defaults(joins=10)
+    cmd.add_argument(
+        "--methods",
+        nargs="+",
+        default=list(PAPER_METHODS),
+        help="methods to measure",
+    )
+    cmd.add_argument(
+        "--max-exact",
+        type=int,
+        default=16,
+        help="relation ceiling for the proven-exact pass; above it the "
+        "hybrid (unproven) reference anchors the gaps",
+    )
+    cmd.add_argument(
+        "--json",
+        metavar="FILE.json",
+        default=None,
+        help="also write the byte-stable gap report to this file",
     )
 
     cmd = sub.add_parser(
@@ -354,6 +403,30 @@ def _cmd_optimize(args: argparse.Namespace) -> int:
     return _report_degradation(result)
 
 
+def _exact_reference(query, model, args: argparse.Namespace):
+    """The exact (or hybrid, beyond the ceiling) reference for gaps.
+
+    Always computed in the parent process, so gap output inherits the
+    comparison's workers-invariance byte for byte.
+    """
+    from repro.core.exact import exact_optimum, hybrid_optimum
+
+    if query.graph.n_relations <= args.max_exact:
+        return exact_optimum(
+            query.graph,
+            model,
+            max_relations=args.max_exact,
+            seed=args.seed,
+        )
+    return hybrid_optimum(
+        query.graph,
+        model,
+        max_exact=args.max_exact,
+        seed=args.seed,
+        time_factor=args.time_factor,
+    )
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
     from repro.core.combinations import compare_methods
     from repro.robustness.resilience import FailureLog
@@ -363,6 +436,7 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     model = _cost_model(args.model)
     for method in args.methods:
         make_strategy(method)  # validate the name before the long run
+    exact = _exact_reference(query, model, args) if args.gap else None
     failure_log = FailureLog()
     results = compare_methods(
         query,
@@ -380,18 +454,36 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         print(failure_log.summary(), file=sys.stderr)
     best = min(result.cost for result in results.values())
     ranked = sorted(results.items(), key=lambda kv: kv[1].cost)
+    if exact is None:
+        column_labels = ["scaled", "evals"]
+        values = [
+            [result.cost / best, float(result.n_evaluations)]
+            for _, result in ranked
+        ]
+    else:
+        from repro.core.exact import optimality_gap
+
+        column_labels = ["scaled", "gap", "evals"]
+        values = [
+            [
+                result.cost / best,
+                optimality_gap(result.cost, exact.cost),
+                float(result.n_evaluations),
+            ]
+            for _, result in ranked
+        ]
     print(
         render_matrix(
             f"{query.name}: scaled costs at {args.time_factor:g}N^2",
             row_labels=[method for method, _ in ranked],
-            column_labels=["scaled", "evals"],
-            values=[
-                [result.cost / best, float(result.n_evaluations)]
-                for _, result in ranked
-            ],
+            column_labels=column_labels,
+            values=values,
             row_header="method",
         )
     )
+    if exact is not None:
+        anchor = "proven optimum" if exact.proven else f"best known ({exact.mode})"
+        print(f"exact anchor: {exact.cost:,.2f} ({anchor})")
     return 0
 
 
@@ -437,10 +529,28 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 
 def _cmd_exact(args: argparse.Namespace) -> int:
-    from repro.core.dynamic_programming import dp_optimal_order
-
     spec = benchmark_spec(args.benchmark)
     query = generate_query(spec, args.joins, args.seed)
+    if args.engine == "bnb":
+        from repro.core.exact import exact_optimum
+
+        bnb = exact_optimum(
+            query.graph,
+            _cost_model(args.model),
+            max_relations=args.max_relations,
+            seed=args.seed,
+        )
+        pruned = bnb.nodes_pruned_bound + bnb.nodes_pruned_dominated
+        print(f"query            : {query.name} (N={query.n_joins})")
+        print(f"optimal order    : {bnb.order}")
+        print(f"optimal cost     : {bnb.cost:,.2f}")
+        print(f"proven           : {'yes' if bnb.proven else 'no'}")
+        print(f"nodes expanded   : {bnb.nodes_expanded:,}")
+        print(f"nodes pruned     : {pruned:,}")
+        print(f"cost evaluations : {bnb.n_cost_evaluations:,}")
+        return 0
+    from repro.core.dynamic_programming import dp_optimal_order
+
     result = dp_optimal_order(
         query.graph, _cost_model(args.model), max_relations=args.max_relations
     )
@@ -450,6 +560,56 @@ def _cmd_exact(args: argparse.Namespace) -> int:
     print(f"propagated cost  : {result.recost:,.2f}")
     print(f"subsets explored : {result.n_subsets:,}")
     print(f"cost evaluations : {result.n_cost_evaluations:,}")
+    return 0
+
+
+def _cmd_gap(args: argparse.Namespace) -> int:
+    from repro.core.combinations import compare_methods
+    from repro.core.exact import build_gap_report, gap_report_json
+    from repro.robustness.resilience import FailureLog
+
+    spec = benchmark_spec(args.benchmark)
+    query = generate_query(spec, args.joins, args.seed)
+    model = _cost_model(args.model)
+    for method in args.methods:
+        make_strategy(method)  # validate the name before the long run
+    exact = _exact_reference(query, model, args)
+    failure_log = FailureLog()
+    results = compare_methods(
+        query,
+        methods=args.methods,
+        model=model,
+        time_factor=args.time_factor,
+        seed=args.seed,
+        incremental=args.incremental,
+        batch_costing=args.batch_costing,
+        budget_accounting=args.budget_accounting,
+        workers=args.workers,
+        failure_log=failure_log,
+    )
+    if failure_log:
+        print(failure_log.summary(), file=sys.stderr)
+    report = build_gap_report(query, model, results, exact)
+    if args.json is not None:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            handle.write(gap_report_json(report))
+    print(
+        render_matrix(
+            f"{query.name}: optimality gaps at {args.time_factor:g}N^2",
+            row_labels=[row.method for row in report.rows],
+            column_labels=["gap", "evals"],
+            values=[
+                [row.gap, float(row.n_evaluations)] for row in report.rows
+            ],
+            row_header="method",
+        )
+    )
+    anchor = "proven optimum" if report.proven else f"best known ({report.mode})"
+    order = "-".join(str(vertex) for vertex in report.exact_order)
+    pruned = report.nodes_pruned_bound + report.nodes_pruned_dominated
+    print(f"exact cost    : {report.exact_cost:,.2f} ({anchor})")
+    print(f"exact order   : {order}")
+    print(f"nodes expanded: {report.nodes_expanded:,} (pruned {pruned:,})")
     return 0
 
 
@@ -612,6 +772,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_compare(args)
     if args.command == "exact":
         return _cmd_exact(args)
+    if args.command == "gap":
+        return _cmd_gap(args)
     if args.command == "landscape":
         return _cmd_landscape(args)
     if args.command == "experiment":

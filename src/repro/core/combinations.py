@@ -518,6 +518,16 @@ def _simpli_squared_factory() -> Strategy:
 
 _FACTORIES["SIMPLI_SQUARED"] = _simpli_squared_factory
 
+
+def _exact_factory() -> Strategy:
+    # Imported lazily: repro.core.exact inherits Strategy from here.
+    from repro.core.exact import ExactStrategy
+
+    return ExactStrategy()
+
+
+_FACTORIES["EXACT"] = _exact_factory
+
 #: The nine methods of the paper's Figure 4, in its presentation order.
 PAPER_METHODS = ("II", "SA", "SAA", "SAK", "IAI", "IKI", "IAL", "AGI", "KBI")
 

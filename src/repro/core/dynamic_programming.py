@@ -33,12 +33,16 @@ re-prices the chosen order under the original (propagating) model.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.catalog.join_graph import JoinGraph
-from repro.core.budget import Budget
+from repro.core.budget import Budget, BudgetExhausted
 from repro.cost.base import CostModel
 from repro.cost.static import StaticCostModel
 from repro.plans.join_order import JoinOrder
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.robustness.resilience import FailureLog
 
 
 @dataclass(frozen=True)
@@ -47,6 +51,10 @@ class DPResult:
 
     ``cost`` is exact under the static estimator; ``recost`` is the same
     order priced by the original model (propagation included).
+    ``complete`` is False only for budget-truncated runs under
+    ``allow_partial`` — the order is then a valid plan grown greedily
+    from the deepest fully-priced DP prefix, explicitly *not* an
+    optimum.
     """
 
     order: JoinOrder
@@ -54,6 +62,7 @@ class DPResult:
     recost: float
     n_subsets: int
     n_cost_evaluations: int
+    complete: bool = True
 
 
 def _neighbor_masks(graph: JoinGraph) -> list[int]:
@@ -67,11 +76,60 @@ def _neighbor_masks(graph: JoinGraph) -> list[int]:
     return neighbor_masks
 
 
+def _deepest_entry(
+    best: dict[int, tuple[float, tuple[int, ...]]],
+) -> tuple[int, float, tuple[int, ...]]:
+    """The most-extended priced prefix, with deterministic tie-breaks.
+
+    Largest subset first (it embodies the most paid-for work), then
+    cheapest cost, then smallest mask — a pure function of the table's
+    contents, so truncated runs are reproducible.
+    """
+    chosen_key: tuple[int, float, int] | None = None
+    chosen: tuple[int, float, tuple[int, ...]] | None = None
+    for mask, (cost, order) in best.items():
+        key = (-bin(mask).count("1"), cost, mask)
+        if chosen_key is None or key < chosen_key:
+            chosen_key = key
+            chosen = (mask, cost, order)
+    assert chosen is not None  # singletons are always present
+    return chosen
+
+
+def _greedy_completion(
+    graph: JoinGraph,
+    neighbor_masks: list[int],
+    order: tuple[int, ...],
+) -> tuple[int, ...]:
+    """Extend a valid prefix to a full valid order, smallest index first."""
+    n = graph.n_relations
+    full = (1 << n) - 1
+    mask = 0
+    adjacent = 0
+    for vertex in order:
+        mask |= 1 << vertex
+        adjacent |= neighbor_masks[vertex]
+    result = list(order)
+    while mask != full:
+        candidates = adjacent & ~mask
+        if not candidates:
+            candidates = ~mask & full
+        low_bit = candidates & -candidates
+        vertex = low_bit.bit_length() - 1
+        result.append(vertex)
+        mask |= low_bit
+        adjacent |= neighbor_masks[vertex]
+    return tuple(result)
+
+
 def dp_optimal_order(
     graph: JoinGraph,
     model: CostModel,
     budget: Budget | None = None,
     max_relations: int = 20,
+    *,
+    allow_partial: bool = False,
+    failure_log: "FailureLog | None" = None,
 ) -> DPResult:
     """The cheapest valid outer-linear order, by subset DP.
 
@@ -80,6 +138,13 @@ def dp_optimal_order(
     to push further.  The budget, when given, is charged one unit per
     join-cost evaluation, i.e. ``len(subset)`` units per plan prefix
     evaluation, comparable with the other methods' accounting.
+
+    A budget that dies mid-layer raises :class:`BudgetExhausted` by
+    default — a truncated table's ``best[full]`` entry would be a wrong
+    "optimum" and must never be presented as one.  With
+    ``allow_partial=True`` the deepest fully-priced prefix is instead
+    completed greedily into a valid order and returned with
+    ``complete=False`` (and a record in ``failure_log`` when given).
     """
     n = graph.n_relations
     if n > max_relations:
@@ -102,33 +167,64 @@ def dp_optimal_order(
 
     n_cost_evaluations = 0
     current_layer = list(best)
-    for _size in range(2, n + 1):
-        next_layer: list[int] = []
-        for subset in current_layer:
-            cost_so_far, order_so_far = best[subset]
-            # Extend with every relation adjacent to the subset.
-            candidates = 0
-            for vertex_index, vertex_mask in enumerate(neighbor_masks):
-                if subset & (1 << vertex_index):
-                    candidates |= vertex_mask
-            candidates &= ~subset
-            while candidates:
-                low_bit = candidates & -candidates
-                candidates ^= low_bit
-                vertex = low_bit.bit_length() - 1
-                new_subset = subset | low_bit
-                new_order = order_so_far + (vertex,)
-                # Evaluate the prefix cost exactly (propagation included).
-                if budget is not None:
-                    budget.charge(float(len(new_order) - 1))
-                prefix_cost = static.plan_cost(JoinOrder(new_order), graph)
-                n_cost_evaluations += len(new_order) - 1
-                known = best.get(new_subset)
-                if known is None or prefix_cost < known[0]:
-                    if known is None:
-                        next_layer.append(new_subset)
-                    best[new_subset] = (prefix_cost, new_order)
-        current_layer = next_layer
+    try:
+        for _size in range(2, n + 1):
+            next_layer: list[int] = []
+            for subset in current_layer:
+                cost_so_far, order_so_far = best[subset]
+                # Extend with every relation adjacent to the subset.
+                candidates = 0
+                for vertex_index, vertex_mask in enumerate(neighbor_masks):
+                    if subset & (1 << vertex_index):
+                        candidates |= vertex_mask
+                candidates &= ~subset
+                while candidates:
+                    low_bit = candidates & -candidates
+                    candidates ^= low_bit
+                    vertex = low_bit.bit_length() - 1
+                    new_subset = subset | low_bit
+                    new_order = order_so_far + (vertex,)
+                    # Evaluate the prefix cost exactly (propagation included).
+                    if budget is not None:
+                        budget.charge(float(len(new_order) - 1))
+                    prefix_cost = static.plan_cost(JoinOrder(new_order), graph)
+                    n_cost_evaluations += len(new_order) - 1
+                    known = best.get(new_subset)
+                    if known is None or prefix_cost < known[0]:
+                        if known is None:
+                            next_layer.append(new_subset)
+                        best[new_subset] = (prefix_cost, new_order)
+            current_layer = next_layer
+    except BudgetExhausted:
+        if not allow_partial:
+            raise
+        # The table is truncated: best[full], if present at all, may not
+        # be optimal.  Return the deepest fully-priced prefix, completed
+        # greedily (uncharged), and say so loudly.
+        mask, _, order = _deepest_entry(best)
+        full_order = _greedy_completion(graph, neighbor_masks, order)
+        join_order = JoinOrder(full_order)
+        if failure_log is not None:
+            failure_log.add(
+                stage="dp",
+                method="DP",
+                seed=None,
+                kind="budget-exhausted",
+                detail=(
+                    f"budget died after {n_cost_evaluations} cost "
+                    f"evaluations with {bin(mask).count('1')}/{n} "
+                    "relations priced"
+                ),
+                action="greedy completion of deepest priced prefix",
+            )
+        return DPResult(
+            order=join_order,
+            cost=static.plan_cost(join_order, graph),
+            recost=model.plan_cost(join_order, graph),
+            n_subsets=len(best),
+            n_cost_evaluations=n_cost_evaluations,
+            complete=False,
+        )
 
     full = (1 << n) - 1
     cost, order = best[full]

@@ -54,7 +54,15 @@ from repro.cost.cardinality import (
 )
 from repro.cost.memory import MainMemoryCostModel
 
-__all__ = ["QueryContext", "IncrementalEvaluator", "supports_incremental"]
+__all__ = [
+    "QueryContext",
+    "IncrementalEvaluator",
+    "PrefixState",
+    "supports_incremental",
+    "start_state",
+    "extend_state",
+    "dominates",
+]
 
 
 def supports_incremental(model: CostModel) -> bool:
@@ -407,3 +415,150 @@ class IncrementalEvaluator:
             running,
         )
         return running, joins
+
+
+# ----------------------------------------------------------------------
+# Standalone prefix states (the branch-and-bound interface)
+# ----------------------------------------------------------------------
+#
+# The anchor-relative engine above serves *trajectory* search: II/SA walk
+# one order at a time.  A best-first branch-and-bound instead holds many
+# incomparable prefixes alive at once, so it needs the walk's state as a
+# value it can stash in a frontier and extend out of order.  PrefixState
+# is exactly one ``_walk`` step's snapshot; ``extend_state`` replicates
+# the step arithmetic operation for operation, so a chain of extensions
+# over a full order yields the bitwise-identical cost ``plan_cost``
+# returns (enforced by tests/test_core_exact.py).
+
+
+class PrefixState:
+    """The propagating walk's state after placing a prefix of relations.
+
+    ``mask`` is the placed-relation bitmask (order-independent), ``size``
+    the current intermediate-result cardinality, ``cost`` the cumulative
+    plan cost so far, and ``caps``/``unplaced`` the distinct-value caps
+    and open-edge counts of :class:`~repro.cost.cardinality.PlanEstimator`.
+    Treat instances as immutable: ``extend_state`` copies the dicts.
+    """
+
+    __slots__ = ("mask", "size", "cost", "caps", "unplaced")
+
+    def __init__(
+        self,
+        mask: int,
+        size: float,
+        cost: float,
+        caps: dict[int, float],
+        unplaced: dict[int, int],
+    ) -> None:
+        self.mask = mask
+        self.size = size
+        self.cost = cost
+        self.caps = caps
+        self.unplaced = unplaced
+
+
+def start_state(context: QueryContext, first: int) -> PrefixState:
+    """The walk's state after placing ``first`` as the outermost relation.
+
+    Mirrors the first-relation initialisation of the incremental walk
+    (and of :class:`~repro.cost.cardinality.PlanEstimator`) exactly.
+    """
+    size = clamp_cardinality(
+        context.cardinalities[first], f"relation {first}"
+    )
+    caps: dict[int, float] = {}
+    unplaced: dict[int, int] = {}
+    degree = context.degrees[first]
+    if degree:
+        caps[first] = size
+        unplaced[first] = degree
+    return PrefixState(1 << first, size, 0.0, caps, unplaced)
+
+
+def extend_state(
+    context: QueryContext, state: PrefixState, inner: int
+) -> PrefixState:
+    """``state`` with relation ``inner`` joined next.
+
+    Replicates one iteration of the incremental walk's inner loop — same
+    operations, same order — so extension chains stay bitwise identical
+    to ``plan_cost``.  Raises
+    :class:`~repro.cost.cardinality.CostOverflowError` exactly where the
+    full walk's clamp would.
+    """
+    mask = state.mask
+    caps = state.caps.copy()
+    unplaced = state.unplaced.copy()
+    size = state.size
+    selectivity = 1.0
+    open_inner = 0
+    for neighbor, outer_distinct, inner_distinct in context.adjacency[inner]:
+        if not (mask >> neighbor) & 1:
+            open_inner += 1
+            continue
+        cap = caps.get(neighbor)
+        if cap is not None and cap < outer_distinct:
+            outer_distinct = cap
+        larger = max(outer_distinct, inner_distinct, 1.0)
+        selectivity *= 1.0 / larger
+        count = unplaced.get(neighbor, 0) - 1
+        if count <= 0:
+            unplaced.pop(neighbor, None)
+            caps.pop(neighbor, None)
+        else:
+            unplaced[neighbor] = count
+
+    inner_size = context.cardinalities[inner]
+    result = size * inner_size * selectivity
+    if not (1.0 <= result <= MAX_CARDINALITY):
+        result = clamp_cardinality(result, f"joining relation {inner}")
+
+    if open_inner:
+        unplaced[inner] = open_inner
+        caps[inner] = inner_size if inner_size < result else result
+    for relation, cap in caps.items():
+        if cap > result:
+            caps[relation] = result
+
+    memory = context._memory_constants
+    if memory is not None:
+        build_cost, probe_cost, output_cost = memory
+        cost = state.cost + (
+            build_cost * inner_size
+            + probe_cost * size
+            + output_cost * result
+        )
+    else:
+        cost = state.cost + context.join_cost(size, inner_size, result)
+    return PrefixState(mask | (1 << inner), result, cost, caps, unplaced)
+
+
+def dominates(a: PrefixState, b: PrefixState) -> bool:
+    """True when prefix ``a`` renders prefix ``b`` (same mask) redundant.
+
+    Sound for *bitwise* minimality — not merely mathematical minimality —
+    because every downstream operation of the propagating walk is
+    float-monotone in the state components it reads: the selectivity
+    product reads caps through ``min``-like clamping in a fixed
+    (adjacency) iteration order, sizes feed multiplications by positive
+    factors, and both stock models' ``join_cost`` are monotone in outer
+    and result size.  With equal masks the caps key sets coincide (cap
+    presence depends only on which relations are placed); a state with
+    pointwise ≤ cost, ≤ size, and ≥ caps therefore completes every suffix
+    at a pointwise ≤ cost, computed through the identical float
+    expressions.  Callers must only apply this under the base propagating
+    semantics — :class:`~repro.cost.static.StaticCostModel` walks the
+    *placed list* in order, so its sizes are not mask-determined and no
+    analogous dominance holds.
+    """
+    if a.cost > b.cost or a.size > b.size:
+        return False
+    if len(a.caps) != len(b.caps):
+        return False
+    b_caps = b.caps
+    for relation, cap in a.caps.items():
+        other = b_caps.get(relation)
+        if other is None or cap < other:
+            return False
+    return True

@@ -41,6 +41,14 @@ class ExperimentConfig:
     """Scaled costs at or above this value are coerced to it (§6.1's
     trimming rule; 10 in the paper).  Set to ``math.inf`` to ablate the
     rule and see raw means."""
+    exact_gap: bool = False
+    """Also anchor every feasible query to its exact optimum
+    (:func:`repro.core.exact.exact_optimum`) and report mean optimality
+    gaps — *true cost / exact optimum* — next to the scaled costs."""
+    exact_max_relations: int = 12
+    """Feasibility ceiling for the per-query exact pass; queries with
+    more relations are skipped by the gap aggregation (scaled costs are
+    unaffected)."""
 
     def __post_init__(self) -> None:
         if not self.methods:
@@ -74,6 +82,14 @@ class ExperimentResult:
     mean_scaled: dict[str, dict[float, float]]
     outlier_counts: dict[str, dict[float, int]]
     per_query_scaled: dict[str, dict[float, list[float]]]
+    mean_gap: dict[str, float] = field(default_factory=dict)
+    """Mean optimality gap per method over the gap-feasible queries
+    (replicates averaged; empty unless ``config.exact_gap``)."""
+    per_query_gap: dict[str, list[float]] = field(default_factory=dict)
+    """Per-method gap series over the gap-feasible queries, in benchmark
+    order — the paired-comparison counterpart of ``per_query_scaled``."""
+    gap_feasible_queries: int = 0
+    """How many queries were small enough for the exact pass."""
 
     def series(self, method: str) -> list[tuple[float, float]]:
         """The (time factor, mean scaled cost) series for one method."""
@@ -214,8 +230,33 @@ def run_experiment(
         method: {factor: 0 for factor in config.time_factors}
         for method in config.methods
     }
+    gap_accumulator: dict[str, list[float]] = {
+        method: [] for method in config.methods
+    }
+    gap_feasible = 0
     all_runs = _all_runs(queries, config, workers, failure_log=failure_log)
     for done, (query, runs) in enumerate(zip(queries, all_runs), start=1):
+        if (
+            config.exact_gap
+            and query.graph.n_relations <= config.exact_max_relations
+        ):
+            # The exact pass runs once, in the parent process, so gap
+            # aggregates inherit the sweep's workers-invariance.
+            from repro.core.exact import exact_optimum, optimality_gap
+
+            exact = exact_optimum(
+                query.graph,
+                config.model,
+                max_relations=config.exact_max_relations,
+                seed=config.seed,
+            )
+            gap_feasible += 1
+            for method in config.methods:
+                gaps = [
+                    optimality_gap(result.cost, exact.cost)
+                    for result in runs[method]
+                ]
+                gap_accumulator[method].append(sum(gaps) / len(gaps))
         # Per-query scaling base: best final cost over ALL methods/replicates.
         best = min(
             result.cost for results in runs.values() for result in results
@@ -245,10 +286,22 @@ def run_experiment(
         }
         for method, by_factor in accumulator.items()
     }
+    mean_gap = {
+        method: sum(values) / len(values)
+        for method, values in gap_accumulator.items()
+        if values
+    }
     return ExperimentResult(
         config=config,
         n_queries=len(queries),
         mean_scaled=mean_scaled,
         outlier_counts=outliers,
         per_query_scaled=accumulator,
+        mean_gap=mean_gap,
+        per_query_gap={
+            method: values
+            for method, values in gap_accumulator.items()
+            if values
+        },
+        gap_feasible_queries=gap_feasible,
     )

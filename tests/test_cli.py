@@ -249,6 +249,116 @@ class TestExactCommand:
         assert main(["exact", "--joins", "20", "--max-relations", "16"]) == 2
         assert "subsets" in capsys.readouterr().err
 
+    def test_bnb_engine_reports_proof(self, capsys):
+        code = main(
+            ["exact", "--joins", "8", "--seed", "2", "--engine", "bnb"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "optimal cost" in out
+        assert "proven" in out
+        assert "nodes expanded" in out
+
+    def test_bnb_cost_lower_bounds_dp_recost(self, capsys):
+        """The B&B works in the propagating world the DP only re-prices."""
+        import re
+
+        main(["exact", "--joins", "8", "--seed", "2", "--engine", "bnb"])
+        bnb_out = capsys.readouterr().out
+        main(["exact", "--joins", "8", "--seed", "2"])
+        dp_out = capsys.readouterr().out
+        bnb_cost = float(
+            re.search(r"optimal cost\s*:\s*([\d,.]+)", bnb_out)
+            .group(1)
+            .replace(",", "")
+        )
+        dp_recost = float(
+            re.search(r"propagated cost\s*:\s*([\d,.]+)", dp_out)
+            .group(1)
+            .replace(",", "")
+        )
+        assert bnb_cost <= dp_recost + 1e-9
+
+
+class TestGapCommand:
+    TINY = [
+        "gap",
+        "--joins",
+        "7",
+        "--seed",
+        "4",
+        "--time-factor",
+        "1",
+        "--methods",
+        "II",
+        "AGI",
+    ]
+
+    def test_prints_gap_matrix(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "optimality gaps" in out
+        assert "gap" in out
+        assert "exact cost" in out
+        assert "II" in out and "AGI" in out
+
+    def test_gaps_at_least_one(self, capsys):
+        import re
+
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        gaps = [
+            float(match)
+            for line in out.splitlines()
+            if re.match(r"\s*(II|AGI)\b", line)
+            for match in re.findall(r"\d+\.\d+", line)[:1]
+        ]
+        assert gaps
+        assert all(gap >= 1.0 for gap in gaps)
+
+    def test_json_byte_identical_across_workers(self, capsys, tmp_path):
+        serial = tmp_path / "serial.json"
+        fanned = tmp_path / "fanned.json"
+        assert main([*self.TINY, "--json", str(serial)]) == 0
+        serial_out = capsys.readouterr().out
+        assert (
+            main([*self.TINY, "--workers", "3", "--json", str(fanned)]) == 0
+        )
+        fanned_out = capsys.readouterr().out
+        assert serial.read_bytes() == fanned.read_bytes()
+        assert serial_out == fanned_out
+
+    def test_rejects_unknown_method(self, capsys):
+        assert main(["gap", "--joins", "6", "--methods", "NOPE"]) == 2
+        assert "unknown method" in capsys.readouterr().err
+
+
+class TestCompareGapFlag:
+    BASE = [
+        "compare",
+        "--joins",
+        "7",
+        "--seed",
+        "4",
+        "--time-factor",
+        "1",
+        "--methods",
+        "II",
+        "AGI",
+    ]
+
+    def test_gap_adds_columns_and_anchor(self, capsys):
+        assert main([*self.BASE, "--gap"]) == 0
+        out = capsys.readouterr().out
+        assert "gap" in out
+        assert "exact anchor" in out
+
+    def test_plain_output_unchanged_without_gap(self, capsys):
+        assert main(self.BASE) == 0
+        out = capsys.readouterr().out
+        assert "gap" not in out
+        assert "exact anchor" not in out
+
 
 class TestLandscapeCommand:
     def test_reports_distribution(self, capsys):

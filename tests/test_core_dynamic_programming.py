@@ -111,6 +111,93 @@ class TestDPOptimalOrder:
         # Connected subsets of a path of 5 = 5+4+3+2+1 = 15.
         assert result.n_subsets == 15
 
+    def test_budget_death_mid_layer_raises_by_default(self):
+        """A truncated table must never be presented as an optimum."""
+        query = generate_query(DEFAULT_SPEC, n_joins=7, seed=5)
+        # Enough budget to finish the 2-subset layer but die inside a
+        # later one: the full-set entry either does not exist or is
+        # unproven, so the default contract is to raise.
+        with pytest.raises(BudgetExhausted):
+            dp_optimal_order(
+                query.graph, MainMemoryCostModel(), budget=Budget(limit=40)
+            )
+
+    def test_budget_death_partial_returns_valid_incomplete_result(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=7, seed=5)
+        model = MainMemoryCostModel()
+        result = dp_optimal_order(
+            query.graph, model, budget=Budget(limit=40), allow_partial=True
+        )
+        assert result.complete is False
+        assert is_valid_order(result.order, query.graph)
+        static = StaticCostModel(model)
+        assert result.cost == pytest.approx(
+            static.plan_cost(result.order, query.graph)
+        )
+        assert result.recost == pytest.approx(
+            model.plan_cost(result.order, query.graph)
+        )
+
+    def test_budget_death_partial_is_deterministic(self):
+        query = generate_query(DEFAULT_SPEC, n_joins=7, seed=5)
+        model = MainMemoryCostModel()
+        runs = [
+            dp_optimal_order(
+                query.graph, model, budget=Budget(limit=40), allow_partial=True
+            )
+            for _ in range(3)
+        ]
+        assert all(run.order == runs[0].order for run in runs)
+        assert all(run.cost == runs[0].cost for run in runs)
+        assert all(
+            run.n_cost_evaluations == runs[0].n_cost_evaluations for run in runs
+        )
+
+    def test_budget_death_partial_records_failure(self):
+        from repro.robustness.resilience import FailureLog
+
+        query = generate_query(DEFAULT_SPEC, n_joins=7, seed=5)
+        log = FailureLog()
+        dp_optimal_order(
+            query.graph,
+            MainMemoryCostModel(),
+            budget=Budget(limit=40),
+            allow_partial=True,
+            failure_log=log,
+        )
+        assert len(log.records) == 1
+        record = log.records[0]
+        assert record.kind == "budget-exhausted"
+        assert record.stage == "dp"
+        assert "priced" in record.detail
+
+    def test_generous_budget_partial_flag_is_complete(self):
+        """allow_partial changes nothing when the budget suffices."""
+        query = generate_query(DEFAULT_SPEC, n_joins=6, seed=2)
+        model = MainMemoryCostModel()
+        full = dp_optimal_order(query.graph, model)
+        partial_ok = dp_optimal_order(
+            query.graph,
+            model,
+            budget=Budget(limit=1e9),
+            allow_partial=True,
+        )
+        assert partial_ok.complete is True
+        assert partial_ok.order == full.order
+        assert partial_ok.cost == full.cost
+
+    def test_budget_death_in_first_priced_layer(self):
+        """Even a budget too small for one extension yields a valid order."""
+        query = generate_query(DEFAULT_SPEC, n_joins=6, seed=0)
+        result = dp_optimal_order(
+            query.graph,
+            MainMemoryCostModel(),
+            budget=Budget(limit=0.5),
+            allow_partial=True,
+        )
+        assert result.complete is False
+        assert is_valid_order(result.order, query.graph)
+
     def test_beats_or_ties_every_heuristic(self):
         """DP's static-world optimum lower-bounds the heuristics."""
         from repro.core.augmentation import augmentation_orders

@@ -1,0 +1,528 @@
+"""Differential oracle suite for the exact branch-and-bound.
+
+The contract under test is unusually strong: :func:`exact_optimum` must
+be **bitwise** equal to exhaustive enumeration — same float, not merely
+close — for both cost models, on connected and disconnected graphs
+alike.  Everything else in this file leans on that anchor: optimality
+gaps are exactly ``>= 1.0``, a method handed the exact order scores a
+gap of exactly ``1.0``, DP's propagating recost is a true upper bound,
+and gap reports are byte-identical across worker counts.
+"""
+
+from __future__ import annotations
+
+import math
+from itertools import combinations
+
+import pytest
+
+from repro.catalog.join_graph import JoinGraph
+from repro.catalog.predicates import JoinPredicate
+from repro.catalog.relation import Relation
+from repro.core.budget import Budget, BudgetExhausted
+from repro.core.combinations import (
+    Strategy,
+    compare_methods,
+    make_strategy,
+)
+from repro.core.dynamic_programming import dp_optimal_order
+from repro.core.exact import (
+    DEFAULT_MAX_EXACT,
+    ExactStrategy,
+    build_gap_report,
+    exact_feasible,
+    exact_optimum,
+    gap_report_json,
+    hybrid_optimum,
+    optimality_gap,
+)
+from repro.core.optimizer import optimize
+from repro.cost.cardinality import CostOverflowError, walk_plan
+from repro.cost.disk import DiskCostModel
+from repro.cost.incremental import (
+    QueryContext,
+    extend_state,
+    start_state,
+)
+from repro.cost.memory import MainMemoryCostModel
+from repro.cost.static import StaticCostModel
+from repro.obs import RecordingTracer
+from repro.plans.join_order import JoinOrder
+from repro.plans.validity import first_invalid_position, valid_orders
+from repro.utils.rng import derive_rng
+from repro.workloads import DEFAULT_SPEC, generate_query
+from tests.conftest import (
+    chain_graph,
+    cycle_graph,
+    star_graph,
+    two_component_graph,
+)
+
+MODELS = [MainMemoryCostModel(), DiskCostModel()]
+MODEL_IDS = ["memory", "disk"]
+
+
+def brute_force_optimum(graph: JoinGraph, model) -> float:
+    """The bitwise minimum plan cost over every valid order.
+
+    Orders whose walk overflows (or produces a non-finite total) are
+    excluded — exactly the orders ``plan_cost`` refuses to price.
+    """
+    best = None
+    for order in valid_orders(graph):
+        try:
+            cost = model.plan_cost(order, graph)
+        except (CostOverflowError, OverflowError):
+            continue
+        if not math.isfinite(cost):
+            continue
+        if best is None or cost < best:
+            best = cost
+    assert best is not None, "graph admits no finite-cost order"
+    return best
+
+
+def shape_graphs() -> list[tuple[str, JoinGraph]]:
+    return [
+        ("chain", chain_graph()),
+        ("star", star_graph()),
+        ("cycle", cycle_graph()),
+        ("two-components", two_component_graph()),
+    ]
+
+
+def random_graphs(count: int = 8, max_joins: int = 7) -> list[JoinGraph]:
+    graphs = []
+    for seed in range(count):
+        n_joins = 4 + seed % (max_joins - 3)
+        graphs.append(generate_query(DEFAULT_SPEC, n_joins, seed).graph)
+    return graphs
+
+
+def all_connected_four_vertex_graphs() -> list[JoinGraph]:
+    """Every connected labeled graph on four relations (38 of them)."""
+    cards = [120, 30, 900, 45]
+    distincts = [12.0, 5.0, 30.0, 9.0]
+    possible_edges = list(combinations(range(4), 2))
+    graphs = []
+    for count in range(3, len(possible_edges) + 1):
+        for edges in combinations(possible_edges, count):
+            adjacency = {v: set() for v in range(4)}
+            for a, b in edges:
+                adjacency[a].add(b)
+                adjacency[b].add(a)
+            seen = {0}
+            stack = [0]
+            while stack:
+                for neighbor in adjacency[stack.pop()]:
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        stack.append(neighbor)
+            if len(seen) < 4:
+                continue
+            graphs.append(
+                JoinGraph(
+                    [Relation(f"R{i}", cards[i]) for i in range(4)],
+                    [
+                        JoinPredicate(a, b, distincts[a], distincts[b])
+                        for a, b in edges
+                    ],
+                )
+            )
+    return graphs
+
+
+# ----------------------------------------------------------------------
+# The oracle: bitwise equality with exhaustive enumeration
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+def test_bitwise_equal_to_enumeration_on_shapes(model):
+    for name, graph in shape_graphs():
+        result = exact_optimum(graph, model)
+        oracle = brute_force_optimum(graph, model)
+        assert result.cost == oracle, name
+        assert result.proven
+        # The reported cost is the true plan cost of the reported order,
+        # to the bit.
+        assert model.plan_cost(result.order, graph) == result.cost
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+def test_bitwise_equal_to_enumeration_on_random_graphs(model):
+    for graph in random_graphs():
+        result = exact_optimum(graph, model)
+        assert result.cost == brute_force_optimum(graph, model)
+        assert first_invalid_position(result.order, graph) is None
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+def test_bitwise_equal_on_every_connected_four_vertex_graph(model):
+    graphs = all_connected_four_vertex_graphs()
+    assert len(graphs) == 38  # 38 connected labeled graphs on 4 vertices
+    for graph in graphs:
+        result = exact_optimum(graph, model)
+        assert result.cost == brute_force_optimum(graph, model)
+
+
+def test_bitwise_equal_under_static_model():
+    static = StaticCostModel(MainMemoryCostModel())
+    for name, graph in shape_graphs():
+        result = exact_optimum(graph, static)
+        assert result.cost == brute_force_optimum(graph, static), name
+    for graph in random_graphs(count=5):
+        result = exact_optimum(graph, static)
+        assert result.cost == brute_force_optimum(graph, static)
+
+
+def test_matches_dp_under_static_model():
+    """B&B under the static engine never exceeds DP, and agrees closely.
+
+    DP relies on the Bellman principle, which holds mathematically but
+    not bitwise under float arithmetic (static sizes are path-dependent
+    floats), so the contract is `<=` plus closeness, not equality.
+    """
+    static = StaticCostModel(MainMemoryCostModel())
+    for graph in random_graphs(count=6):
+        if not graph.is_connected:
+            continue
+        bnb = exact_optimum(graph, static)
+        dp = dp_optimal_order(graph, static)
+        assert bnb.cost <= dp.cost
+        assert bnb.cost == pytest.approx(dp.cost, rel=1e-9)
+
+
+def test_disconnected_graphs_searched_natively():
+    graph = two_component_graph()
+    for model in MODELS:
+        result = exact_optimum(graph, model)
+        assert result.cost == brute_force_optimum(graph, model)
+        assert result.proven
+        assert first_invalid_position(result.order, graph) is None
+
+
+def test_cross_product_free_on_connected_graphs():
+    for graph in random_graphs(count=5):
+        if not graph.is_connected:
+            continue
+        result = exact_optimum(graph, MainMemoryCostModel())
+        steps = walk_plan(result.order, graph)
+        assert not any(step.is_cross_product for step in steps)
+
+
+def test_prefix_state_chain_matches_plan_cost_bitwise():
+    """The search's step arithmetic *is* the estimator's, op for op."""
+    for model in MODELS:
+        for graph in random_graphs(count=5):
+            context = QueryContext(graph, model)
+            rng = derive_rng(17, "test", "prefix-chain", graph.n_relations)
+            for _ in range(20):
+                from repro.plans.validity import random_valid_order
+
+                order = random_valid_order(graph, rng)
+                state = start_state(context, order[0])
+                for vertex in order.positions[1:]:
+                    state = extend_state(context, state, vertex)
+                assert state.cost == model.plan_cost(order, graph)
+
+
+def test_single_relation_and_max_relations_guard():
+    graph = JoinGraph([Relation("R0", 100)], [])
+    result = exact_optimum(graph, MainMemoryCostModel())
+    assert result.cost == 0.0
+    assert result.proven
+    big = generate_query(DEFAULT_SPEC, 20, 0).graph
+    with pytest.raises(ValueError, match="max_relations"):
+        exact_optimum(big, MainMemoryCostModel())
+    assert not exact_feasible(big)
+    assert exact_feasible(big, max_relations=big.n_relations)
+
+
+# ----------------------------------------------------------------------
+# Budget semantics
+# ----------------------------------------------------------------------
+
+
+def test_budget_exhaustion_raises_by_default():
+    graph = generate_query(DEFAULT_SPEC, 9, 2).graph
+    with pytest.raises(BudgetExhausted):
+        exact_optimum(graph, MainMemoryCostModel(), budget=Budget(limit=60.0))
+
+
+def test_budget_exhaustion_partial_returns_incumbent():
+    graph = generate_query(DEFAULT_SPEC, 9, 2).graph
+    result = exact_optimum(
+        graph,
+        MainMemoryCostModel(),
+        budget=Budget(limit=60.0),
+        allow_partial=True,
+    )
+    assert not result.proven
+    assert first_invalid_position(result.order, graph) is None
+    assert result.cost == MainMemoryCostModel().plan_cost(result.order, graph)
+    # Deterministic: same starvation, same answer.
+    again = exact_optimum(
+        graph,
+        MainMemoryCostModel(),
+        budget=Budget(limit=60.0),
+        allow_partial=True,
+    )
+    assert again.order == result.order and again.cost == result.cost
+
+
+def test_budget_too_small_even_for_partial():
+    graph = generate_query(DEFAULT_SPEC, 9, 2).graph
+    with pytest.raises(BudgetExhausted):
+        exact_optimum(
+            graph,
+            MainMemoryCostModel(),
+            budget=Budget(limit=2.0),
+            allow_partial=True,
+        )
+
+
+# ----------------------------------------------------------------------
+# Observability: counters exist, tracing perturbs nothing
+# ----------------------------------------------------------------------
+
+
+def test_traced_run_identical_to_untraced():
+    graph = generate_query(DEFAULT_SPEC, 8, 4).graph
+    plain = exact_optimum(graph, MainMemoryCostModel())
+    tracer = RecordingTracer()
+    traced = exact_optimum(graph, MainMemoryCostModel(), trace=tracer)
+    assert traced.order == plain.order
+    assert traced.cost == plain.cost
+    assert traced.nodes_expanded == plain.nodes_expanded
+    assert traced.nodes_pruned_bound == plain.nodes_pruned_bound
+    assert traced.nodes_pruned_dominated == plain.nodes_pruned_dominated
+    snapshot = tracer.metrics.snapshot()
+    counters = snapshot["counters"]
+    assert counters["exact_nodes_expanded"] == float(plain.nodes_expanded)
+    assert counters["exact_nodes_pruned_bound"] == float(
+        plain.nodes_pruned_bound
+    )
+    assert counters["exact_nodes_pruned_dominated"] == float(
+        plain.nodes_pruned_dominated
+    )
+    assert "exact_incumbent_updates" in counters
+    phases = [
+        event.data.get("phase")
+        for event in tracer.events
+        if event.kind in ("phase_start", "phase_end")
+    ]
+    assert "exact_bnb" in phases
+
+
+# ----------------------------------------------------------------------
+# The EXACT method behind optimize()/compare_methods()
+# ----------------------------------------------------------------------
+
+
+def test_exact_strategy_through_optimize():
+    query = generate_query(DEFAULT_SPEC, 10, 3)
+    result = optimize(query, method="EXACT", model=MainMemoryCostModel())
+    reference = exact_optimum(query.graph, MainMemoryCostModel())
+    assert result.cost == reference.cost
+    assert result.order == reference.order
+
+
+def test_exact_strategy_registered():
+    strategy = make_strategy("EXACT")
+    assert isinstance(strategy, ExactStrategy)
+    assert not strategy.stochastic
+
+
+def test_exact_in_compare_methods():
+    query = generate_query(DEFAULT_SPEC, 8, 6)
+    results = compare_methods(
+        query, methods=("II", "EXACT"), model=MainMemoryCostModel()
+    )
+    reference = exact_optimum(query.graph, MainMemoryCostModel())
+    assert results["EXACT"].cost == reference.cost
+    assert results["II"].cost >= results["EXACT"].cost
+
+
+def test_exact_strategy_degrades_to_hybrid_at_large_n():
+    query = generate_query(DEFAULT_SPEC, DEFAULT_MAX_EXACT + 5, 1)
+    result = optimize(query, method="EXACT", model=MainMemoryCostModel())
+    assert first_invalid_position(result.order, query.graph) is None
+    assert math.isfinite(result.cost)
+
+
+# ----------------------------------------------------------------------
+# Optimality gaps
+# ----------------------------------------------------------------------
+
+
+def test_gap_at_least_one_for_every_method_on_every_graph():
+    """cost >= exact bitwise, and IEEE division preserves it exactly."""
+    methods = ("II", "SA", "IAI", "AGI", "SIMPLI_SQUARED")
+    for seed in range(6):
+        query = generate_query(DEFAULT_SPEC, 5 + seed % 3, seed)
+        for model in MODELS:
+            exact = exact_optimum(query.graph, model)
+            results = compare_methods(
+                query, methods=methods, model=model, seed=seed
+            )
+            for method, result in results.items():
+                gap = optimality_gap(result.cost, exact.cost)
+                assert gap >= 1.0, (method, seed)
+
+
+class _InjectedStart(Strategy):
+    """A degenerate method that just prices one fixed order."""
+
+    name = "INJECTED"
+    description = "evaluates a single injected order"
+    stochastic = False
+
+    def __init__(self, order: JoinOrder) -> None:
+        self._order = order
+
+    def run(self, evaluator, rng, params) -> None:
+        evaluator.evaluate(self._order)
+
+
+def test_gap_exactly_one_when_given_the_exact_order():
+    for seed in (0, 3, 5):
+        query = generate_query(DEFAULT_SPEC, 7, seed)
+        exact = exact_optimum(query.graph, MainMemoryCostModel())
+        result = optimize(
+            query,
+            method=_InjectedStart(exact.order),
+            model=MainMemoryCostModel(),
+        )
+        assert result.cost == exact.cost
+        assert optimality_gap(result.cost, exact.cost) == 1.0
+
+
+def test_gap_report_byte_identical_across_workers():
+    query = generate_query(DEFAULT_SPEC, 8, 9)
+    model = MainMemoryCostModel()
+    exact = exact_optimum(query.graph, model)
+    serial = compare_methods(query, methods=("II", "IAI", "AGI"), model=model)
+    fanned = compare_methods(
+        query, methods=("II", "IAI", "AGI"), model=model, workers=3
+    )
+    report_serial = gap_report_json(build_gap_report(query, model, serial, exact))
+    report_fanned = gap_report_json(build_gap_report(query, model, fanned, exact))
+    assert report_serial == report_fanned
+    assert report_serial.endswith("\n")
+    # Stable across repeated rendering too (canonical bytes).
+    assert report_serial == gap_report_json(
+        build_gap_report(query, model, serial, exact)
+    )
+
+
+def test_gap_report_rows_ranked_and_anchored():
+    query = generate_query(DEFAULT_SPEC, 7, 2)
+    model = MainMemoryCostModel()
+    exact = exact_optimum(query.graph, model)
+    results = compare_methods(query, methods=("II", "IAI"), model=model)
+    report = build_gap_report(query, model, results, exact)
+    assert report.proven
+    assert report.exact_cost == exact.cost
+    costs = [row.cost for row in report.rows]
+    assert costs == sorted(costs)
+    for row in report.rows:
+        assert row.gap == optimality_gap(row.cost, exact.cost)
+        assert row.gap >= 1.0
+
+
+def test_optimality_gap_edge_cases():
+    assert optimality_gap(0.0, 0.0) == 1.0
+    assert optimality_gap(5.0, 0.0) == math.inf
+    assert optimality_gap(7.5, 7.5) == 1.0
+
+
+# ----------------------------------------------------------------------
+# DP is a bound, not the answer
+# ----------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("model", MODELS, ids=MODEL_IDS)
+def test_dp_recost_upper_bounds_exact_propagating_optimum(model):
+    """DP's propagating recost can never beat the propagating optimum.
+
+    ``recost`` is the true cost of one particular valid order, and the
+    exact optimum is the bitwise minimum over all of them — so the
+    inequality is exact, no tolerance.
+    """
+    for graph in random_graphs(count=6):
+        if not graph.is_connected:
+            continue
+        dp = dp_optimal_order(graph, model)
+        exact = exact_optimum(graph, model)
+        assert dp.recost >= exact.cost
+
+
+# ----------------------------------------------------------------------
+# Hybrid mode
+# ----------------------------------------------------------------------
+
+
+def test_hybrid_below_frontier_is_exact():
+    graph = generate_query(DEFAULT_SPEC, 7, 1).graph
+    hybrid = hybrid_optimum(graph, MainMemoryCostModel())
+    exact = exact_optimum(graph, MainMemoryCostModel())
+    assert hybrid.cost == exact.cost
+    assert hybrid.mode == "branch-and-bound"
+
+
+def test_hybrid_large_n_valid_and_deterministic():
+    graph = generate_query(DEFAULT_SPEC, 23, 5).graph
+    first = hybrid_optimum(graph, MainMemoryCostModel(), max_exact=8)
+    second = hybrid_optimum(graph, MainMemoryCostModel(), max_exact=8)
+    assert first.order == second.order
+    assert first.cost == second.cost
+    assert not first.proven
+    assert first.mode == "hybrid"
+    assert first_invalid_position(first.order, graph) is None
+    assert first.cost == MainMemoryCostModel().plan_cost(first.order, graph)
+
+
+def test_hybrid_disconnected_large_graph():
+    pieces = [generate_query(DEFAULT_SPEC, 10, s).graph for s in (0, 1)]
+    relations = []
+    predicates = []
+    offset = 0
+    for piece in pieces:
+        relations.extend(
+            Relation(f"C{offset + i}", int(piece.cardinality(i)))
+            for i in range(piece.n_relations)
+        )
+        for predicate in piece.predicates:
+            predicates.append(
+                JoinPredicate(
+                    predicate.left + offset,
+                    predicate.right + offset,
+                    predicate.left_distinct,
+                    predicate.right_distinct,
+                )
+            )
+        offset += piece.n_relations
+    graph = JoinGraph(relations, predicates)
+    assert not graph.is_connected
+    result = hybrid_optimum(graph, MainMemoryCostModel(), max_exact=8)
+    assert first_invalid_position(result.order, graph) is None
+    assert not result.proven
+    assert result.cost == MainMemoryCostModel().plan_cost(result.order, graph)
+
+
+def test_hybrid_beats_or_matches_greedy_quality():
+    """The hybrid answer is at worst the polished start, never garbage."""
+    graph = generate_query(DEFAULT_SPEC, 20, 7).graph
+    result = hybrid_optimum(
+        graph, MainMemoryCostModel(), budget=Budget.for_query(20, 9.0)
+    )
+    ii = optimize(
+        generate_query(DEFAULT_SPEC, 20, 7),
+        method="II",
+        model=MainMemoryCostModel(),
+        time_factor=9.0,
+    )
+    # Not a strict dominance claim — but within 2x of II means the
+    # skeleton expansion + polish is doing real work.
+    assert result.cost <= 2.0 * ii.cost
