@@ -1,0 +1,177 @@
+"""Microbench: detlint summary-cache speedup, warm vs. cold.
+
+Times a full interprocedural analysis of this repository's real ``src/``
+tree twice through :class:`repro.analysis.engine.Analyzer` — once with
+an empty summary cache (cold: parse + extract + fixpoint) and once
+against the cache the cold run wrote (warm: content-hash lookups +
+fixpoint) — and writes the series to ``results/BENCH_detlint.json``.
+
+A correctness check runs inside the measurement: the warm run only
+counts as fast if its report is byte-identical to the cold run's, which
+is the cache's soundness contract (pass 1 is a pure function of file
+bytes; pass 2 is always recomputed).
+
+The asserted floor mirrors the acceptance criterion: the warm run must
+be at least 5x faster than cold.  Run directly, this module is the
+CPU-gated CI smoke check::
+
+    PYTHONPATH=src python benchmarks/test_perf_detlint.py --smoke [--json]
+
+which keeps a reduced 2x floor so shared CI runners with noisy
+neighbours do not flake the gate (the 5x claim is re-asserted by the
+slow suite on quiet hardware).
+"""
+
+import tempfile
+import time
+from dataclasses import replace
+from pathlib import Path
+
+import pytest
+
+from bench_utils import save_and_print, write_bench_json
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Acceptance floor: skipping parse + extraction for every unchanged
+#: file must dominate the (always recomputed) global fixpoint.
+MIN_WARM_SPEEDUP = 5.0
+
+#: Smoke floor for shared CI runners (timer noise on a ~0.1 s warm run).
+SMOKE_FLOOR = 2.0
+
+
+def measure_detlint(repeats: int = 3) -> dict:
+    """Time cold vs. warm analysis of the real ``src/`` tree.
+
+    The cache is redirected into a throwaway directory so the bench
+    never touches the developer's ``.detlint-cache.json``.  Cold is
+    re-measured with the cache file deleted each repeat; warm reuses
+    the file the last cold run wrote.  Best-of-``repeats`` is reported
+    for both, which is the standard defence against one-off scheduler
+    noise in sub-second measurements.
+    """
+    from repro.analysis.config import load_config
+    from repro.analysis.engine import Analyzer
+    from repro.analysis.reporting import render_json
+
+    base = load_config(start=str(REPO_ROOT))
+    with tempfile.TemporaryDirectory(prefix="detlint-bench-") as scratch:
+        cache_path = Path(scratch) / "cache.json"
+        config = replace(base, cache=str(cache_path))
+
+        cold_seconds = []
+        cold_result = None
+        for _ in range(repeats):
+            if cache_path.exists():
+                cache_path.unlink()
+            t0 = time.perf_counter()
+            cold_result = Analyzer(config, baseline=None).run()
+            cold_seconds.append(time.perf_counter() - t0)
+        assert cold_result is not None
+        assert cold_result.cache_hits == 0
+
+        warm_seconds = []
+        warm_result = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            warm_result = Analyzer(config, baseline=None).run()
+            warm_seconds.append(time.perf_counter() - t0)
+        assert warm_result is not None
+
+        # Soundness before speed: a cache that changes the report is a
+        # bug, not a speedup.
+        assert warm_result.cache_misses == 0
+        assert warm_result.cache_hits == cold_result.cache_misses
+        assert render_json(warm_result) == render_json(cold_result), (
+            "warm (cached) report diverges from cold"
+        )
+
+        cold = min(cold_seconds)
+        warm = min(warm_seconds)
+        return {
+            "tree": "src",
+            "files_checked": cold_result.files_checked,
+            "repeats": repeats,
+            "cold_seconds": round(cold, 6),
+            "warm_seconds": round(warm, 6),
+            "speedup_warm_vs_cold": round(cold / warm, 3)
+            if warm > 0
+            else float("inf"),
+            "cache_entries": cold_result.cache_misses,
+            "open_findings": len(cold_result.unsuppressed),
+            "suppressed_findings": len(cold_result.suppressed),
+        }
+
+
+@pytest.mark.slow
+def test_detlint_cache_speedup():
+    result = measure_detlint()
+    lines = [
+        "detlint summary-cache speedup (real src/ tree):",
+        f"  files checked : {result['files_checked']}",
+        f"  cold (no cache): {result['cold_seconds'] * 1000:>8.1f} ms",
+        f"  warm (cached)  : {result['warm_seconds'] * 1000:>8.1f} ms",
+        f"  speedup        : {result['speedup_warm_vs_cold']:.2f}x",
+    ]
+    path = write_bench_json("detlint", result)
+    lines.append(f"machine-readable series: {path.name}")
+    save_and_print("detlint_cache", "\n".join(lines))
+
+    assert result["files_checked"] > 50
+    speedup = result["speedup_warm_vs_cold"]
+    assert speedup >= MIN_WARM_SPEEDUP, (
+        f"warm run only {speedup:.2f}x faster than cold; the summary "
+        f"cache promises >= {MIN_WARM_SPEEDUP}x"
+    )
+
+
+def _smoke_main(argv=None):
+    """The CI smoke check: same measurement, a CPU-gated floor."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        description="Perf smoke check for the detlint summary cache."
+    )
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the cache microbench (the only mode)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3, help="best-of repeats (default 3)"
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="also write results/BENCH_detlint_smoke.json",
+    )
+    args = parser.parse_args(argv)
+    if not args.smoke:
+        parser.error("nothing to do: pass --smoke")
+
+    result = measure_detlint(repeats=args.repeats)
+    print(
+        f"detlint over {result['files_checked']} file(s): "
+        f"cold {result['cold_seconds'] * 1000:.1f} ms -> "
+        f"warm {result['warm_seconds'] * 1000:.1f} ms "
+        f"({result['speedup_warm_vs_cold']:.2f}x)"
+    )
+    if args.json:
+        path = write_bench_json("detlint_smoke", result)
+        print(f"wrote {path}")
+    if result["speedup_warm_vs_cold"] < SMOKE_FLOOR:
+        print(
+            f"SMOKE FAIL: warm only {result['speedup_warm_vs_cold']:.2f}x "
+            f"vs cold (floor {SMOKE_FLOOR}x)"
+        )
+        return 1
+    print("SMOKE OK")
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+    raise SystemExit(_smoke_main())

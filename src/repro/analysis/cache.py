@@ -1,0 +1,195 @@
+"""Content-hash summary cache (``.detlint-cache.json``).
+
+The engine's local pass — parse, intraprocedural rules, fact
+extraction, suppression parsing — is a pure function of one file's
+bytes under one configuration.  This module memoizes exactly that unit:
+each entry is keyed by the file's content hash, and the whole cache is
+keyed by a run signature (analysis version, Python minor version, rule
+set, configuration), so *any* change that could alter a file's local
+results invalidates everything at once rather than trusting a partial
+match.
+
+The global pass (call-graph resolution, fixpoint, project rules) is
+deliberately **not** cached: it is cheap relative to parsing, and
+recomputing it every run from the cached facts is what makes a warm run
+produce byte-identical findings to a cold one.
+
+Serialization is deterministic (sorted keys, stable entry order), so the
+cache file itself diffs cleanly and never flaps in CI caches.  All IO is
+best-effort: an unreadable, corrupt, or mismatched cache degrades to a
+cold run, and a read-only checkout skips the save without failing the
+lint.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+from repro.analysis.dataflow import ModuleFacts
+from repro.analysis.findings import Finding
+from repro.analysis.suppressions import Suppression
+
+#: Bump whenever the cached payload shape or any local-pass semantics
+#: change; a mismatch discards the cache wholesale.
+CACHE_FORMAT_VERSION = 1
+
+
+def content_digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def run_signature(payload: dict[str, Any]) -> str:
+    """Hash of everything that can change a file's local results."""
+    blob = json.dumps(
+        {"format": CACHE_FORMAT_VERSION, **payload}, sort_keys=True
+    )
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Payload serialization (Finding / Suppression / ModuleFacts round-trips)
+
+
+def finding_to_json(finding: Finding) -> dict[str, Any]:
+    """Raw (pre-status) finding fields; status is recomputed every run."""
+    return {
+        "rule": finding.rule,
+        "path": finding.path,
+        "line": finding.line,
+        "column": finding.column,
+        "message": finding.message,
+        "snippet": finding.snippet,
+    }
+
+
+def finding_from_json(data: dict[str, Any]) -> Finding:
+    return Finding(
+        rule=data["rule"],
+        path=data["path"],
+        line=data["line"],
+        column=data["column"],
+        message=data["message"],
+        snippet=data["snippet"],
+    )
+
+
+def suppression_to_json(suppression: Suppression) -> dict[str, Any]:
+    return {
+        "line": suppression.line,
+        "target_line": suppression.target_line,
+        "codes": sorted(suppression.codes),
+        "reason": suppression.reason,
+    }
+
+
+def suppression_from_json(data: dict[str, Any]) -> Suppression:
+    return Suppression(
+        line=data["line"],
+        target_line=data["target_line"],
+        codes=frozenset(data["codes"]),
+        reason=data["reason"],
+    )
+
+
+class SummaryCache:
+    """One cache file: ``{rel_path: {hash, findings, facts, suppressions}}``."""
+
+    def __init__(self, path: str, key: str) -> None:
+        self.path = path
+        self.key = key
+        self.entries: dict[str, dict[str, Any]] = {}
+        self.dirty = False
+        self.hits = 0
+        self.misses = 0
+
+    @classmethod
+    def load(cls, path: str, key: str) -> "SummaryCache":
+        """Read the cache; any problem at all degrades to an empty one."""
+        cache = cls(path, key)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except (OSError, ValueError):
+            return cache
+        if not isinstance(document, dict):
+            return cache
+        if document.get("version") != CACHE_FORMAT_VERSION:
+            return cache
+        if document.get("key") != key:
+            return cache
+        files = document.get("files")
+        if isinstance(files, dict):
+            cache.entries = {
+                str(rel): entry
+                for rel, entry in files.items()
+                if isinstance(entry, dict)
+            }
+        return cache
+
+    def lookup(self, rel_path: str, digest: str) -> dict[str, Any] | None:
+        entry = self.entries.get(rel_path)
+        if entry is not None and entry.get("hash") == digest:
+            self.hits += 1
+            return entry
+        self.misses += 1
+        return None
+
+    def store(self, rel_path: str, digest: str, payload: dict[str, Any]) -> None:
+        self.entries[rel_path] = {"hash": digest, **payload}
+        self.dirty = True
+
+    def save(self, seen: set[str]) -> None:
+        """Persist entries for ``seen`` files; best-effort, deterministic."""
+        kept = {
+            rel: entry
+            for rel, entry in sorted(self.entries.items())
+            if rel in seen
+        }
+        if len(kept) != len(self.entries):
+            self.dirty = True  # pruned deleted/renamed files
+        if not self.dirty:
+            return
+        document = {
+            "version": CACHE_FORMAT_VERSION,
+            "key": self.key,
+            "files": kept,
+        }
+        try:
+            with open(self.path, "w", encoding="utf-8") as handle:
+                json.dump(document, handle, sort_keys=True, indent=1)
+                handle.write("\n")
+        except OSError:
+            return  # read-only checkout: warm next time, correct this time
+
+
+def record_payload(
+    findings: list[Finding],
+    facts: ModuleFacts | None,
+    suppressions: list[Suppression],
+) -> dict[str, Any]:
+    """Serialize one file's local-pass results for the cache."""
+    return {
+        "findings": [finding_to_json(finding) for finding in findings],
+        "facts": facts.to_json() if facts is not None else None,
+        "suppressions": [
+            suppression_to_json(suppression) for suppression in suppressions
+        ],
+    }
+
+
+def payload_findings(payload: dict[str, Any]) -> list[Finding]:
+    return [finding_from_json(data) for data in payload.get("findings", [])]
+
+
+def payload_facts(payload: dict[str, Any]) -> ModuleFacts | None:
+    data = payload.get("facts")
+    return ModuleFacts.from_json(data) if data is not None else None
+
+
+def payload_suppressions(payload: dict[str, Any]) -> list[Suppression]:
+    return [
+        suppression_from_json(data)
+        for data in payload.get("suppressions", [])
+    ]

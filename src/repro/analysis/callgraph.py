@@ -1,0 +1,523 @@
+"""Project-wide call graph: resolution, summaries, fixpoint propagation.
+
+The local pass (:mod:`repro.analysis.dataflow`) leaves every call site
+as an unresolved *reference* — ``local:helper``, ``import:repro.cost.
+base.CostModel.plan_cost``, ``self:Class.method``, ``method:step``.
+This module resolves those references against the whole project's fact
+set and propagates effect summaries transitively to a fixpoint, so a
+rule can ask "is anything reachable from here impure / blocking /
+raising X?" and get an answer with a concrete witness chain.
+
+Resolution is deliberately conservative (over-approximate):
+
+* ``import:`` references chase re-exports through ``__init__`` modules,
+  so ``from repro.cost import extend_state`` lands on
+  ``repro.cost.incremental.extend_state``;
+* ``self:`` calls dispatch virtually — to the method on the class, its
+  name-based ancestors (inherited implementation), *and* every
+  name-based subclass (overrides), because the receiver's runtime type
+  is any of them;
+* ``method:`` calls on untyped receivers fan out to every project class
+  defining that method (minus a builtin-container denylist applied at
+  extraction time);
+* ``registry:`` calls — the lazy-factory pattern in
+  ``repro.core.combinations`` — edge to every callable registered into
+  the registry dict at module level.
+
+Everything is iterated in sorted order, so two runs over the same file
+set produce identical summaries, witnesses, and therefore reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.analysis.dataflow import (
+    EFFECT_KINDS,
+    GLOBAL_WRITE,
+    PARAM_MUTATION,
+    CallSite,
+    FunctionFacts,
+    ModuleFacts,
+)
+
+#: Cap on witness-chain reconstruction (cycles in mutual recursion).
+_MAX_CHAIN = 12
+
+
+@dataclass(frozen=True)
+class Witness:
+    """Why a function has an effect: a site in its *own* source file.
+
+    For a direct effect the site is the offending expression; for an
+    inherited one it is the call that reaches it, and ``via`` names the
+    callee whose witness continues the chain.
+    """
+
+    line: int
+    snippet: str
+    detail: str
+    via: str | None = None  # callee function id, None for direct effects
+
+
+@dataclass
+class FunctionNode:
+    """One function in the resolved graph."""
+
+    fid: str  # e.g. "repro.cost.base.CostModel.plan_cost"
+    module: str
+    rel_path: str
+    facts: FunctionFacts
+    #: Resolved outgoing edges: (call site, sorted target fids).
+    edges: list[tuple[CallSite, tuple[str, ...]]] = field(default_factory=list)
+
+
+class CallGraph:
+    """The resolved project: functions, edges, and fixpoint summaries."""
+
+    def __init__(self, modules: Mapping[str, ModuleFacts]) -> None:
+        #: rel_path → facts, in sorted path order everywhere below.
+        self.modules: dict[str, ModuleFacts] = dict(sorted(modules.items()))
+        self.by_module_name: dict[str, ModuleFacts] = {}
+        for facts in self.modules.values():
+            self.by_module_name[facts.module] = facts
+        self.functions: dict[str, FunctionNode] = {}
+        self._index_functions()
+        self._index_classes()
+        self._resolve_edges()
+        self._propagate()
+
+    # ------------------------------------------------------------------
+    # Indexing
+
+    def _index_functions(self) -> None:
+        for rel_path, facts in self.modules.items():
+            for qualname, function in sorted(facts.functions.items()):
+                fid = f"{facts.module}.{qualname}"
+                self.functions[fid] = FunctionNode(
+                    fid=fid,
+                    module=facts.module,
+                    rel_path=rel_path,
+                    facts=function,
+                )
+
+    def _index_classes(self) -> None:
+        #: class name → [(module, class name)] for name-based hierarchy.
+        self.classes: dict[str, list[tuple[str, str]]] = {}
+        #: method name → sorted fids of every class method with that name.
+        self.methods_by_name: dict[str, list[str]] = {}
+        #: (module, class) → {method name → fid}.
+        self.class_methods: dict[tuple[str, str], dict[str, str]] = {}
+        #: class name → subclass names (one name-based step).
+        self.subclasses: dict[str, set[str]] = {}
+        self.bases: dict[str, set[str]] = {}
+        for facts in self.modules.values():
+            for cls_name, info in sorted(facts.classes.items()):
+                self.classes.setdefault(cls_name, []).append(
+                    (facts.module, cls_name)
+                )
+                for base in info["bases"]:
+                    self.subclasses.setdefault(base, set()).add(cls_name)
+                    self.bases.setdefault(cls_name, set()).add(base)
+                methods: dict[str, str] = {}
+                for method in info["methods"]:
+                    fid = f"{facts.module}.{cls_name}.{method}"
+                    if fid in self.functions:
+                        methods[method] = fid
+                        self.methods_by_name.setdefault(method, []).append(fid)
+                self.class_methods[(facts.module, cls_name)] = methods
+        for name in self.methods_by_name:
+            self.methods_by_name[name] = sorted(
+                set(self.methods_by_name[name])
+            )
+
+    def _class_closure(self, cls_name: str, direction: str) -> set[str]:
+        """Name-based transitive closure over sub- or superclasses."""
+        table = self.subclasses if direction == "down" else self.bases
+        seen: set[str] = {cls_name}
+        frontier = [cls_name]
+        while frontier:
+            current = frontier.pop()
+            for neighbor in sorted(table.get(current, ())):
+                if neighbor not in seen:
+                    seen.add(neighbor)
+                    frontier.append(neighbor)
+        return seen
+
+    # ------------------------------------------------------------------
+    # Reference resolution
+
+    def resolve_ref(self, owner: ModuleFacts, ref: str) -> tuple[str, ...]:
+        """All function ids a reference may denote (sorted, maybe empty)."""
+        kind, _, rest = ref.partition(":")
+        if kind == "local":
+            return self._resolve_dotted(f"{owner.module}.{rest}")
+        if kind == "import":
+            return self._resolve_dotted(rest)
+        if kind == "self":
+            cls_name, _, method = rest.rpartition(".")
+            return self._resolve_virtual(cls_name, method)
+        if kind == "typed":
+            class_ref, _, method = rest.rpartition(".")
+            return self._resolve_typed(owner, class_ref, method)
+        if kind == "method":
+            return tuple(self.methods_by_name.get(rest, ()))
+        if kind == "registry":
+            targets: set[str] = set()
+            for registered in owner.registries.get(rest, ()):
+                targets.update(self.resolve_ref(owner, registered))
+            return tuple(sorted(targets))
+        return ()
+
+    def _resolve_dotted(self, dotted: str, depth: int = 0) -> tuple[str, ...]:
+        """Resolve a dotted origin to function ids, chasing re-exports."""
+        if depth > 8:
+            return ()
+        if dotted in self.functions:
+            return (dotted,)
+        # Class constructor: Module.Class → Module.Class.__init__.
+        init = f"{dotted}.__init__"
+        if init in self.functions:
+            return (init,)
+        # Maybe Module.Class with no explicit __init__, or Class.method
+        # spelled through an alias: find the longest module prefix and
+        # chase the next component through that module's import map.
+        parts = dotted.split(".")
+        for cut in range(len(parts) - 1, 0, -1):
+            module_name = ".".join(parts[:cut])
+            module = self.by_module_name.get(module_name)
+            if module is None:
+                continue
+            head, rest = parts[cut], parts[cut + 1 :]
+            # A name re-exported by this module?
+            origin = module.imports.get(head)
+            if origin is not None:
+                return self._resolve_dotted(
+                    ".".join([origin] + rest), depth + 1
+                )
+            # A class defined here, method named in the tail?
+            if head in module.classes and rest:
+                return self._resolve_member(
+                    module.module, head, ".".join(rest)
+                )
+            return ()
+        return ()
+
+    def _resolve_member(
+        self, module_name: str, cls_name: str, member: str
+    ) -> tuple[str, ...]:
+        methods = self.class_methods.get((module_name, cls_name), {})
+        fid = methods.get(member)
+        if fid is not None:
+            return (fid,)
+        # Inherited: walk name-based ancestors.
+        for ancestor in sorted(self._class_closure(cls_name, "up") - {cls_name}):
+            for ancestor_module, ancestor_cls in self.classes.get(ancestor, ()):
+                fid = self.class_methods.get(
+                    (ancestor_module, ancestor_cls), {}
+                ).get(member)
+                if fid is not None:
+                    return (fid,)
+        return ()
+
+    def _resolve_virtual(
+        self, cls_name: str, method: str
+    ) -> tuple[str, ...]:
+        """``self.method()``: the class, its ancestors, and its overrides."""
+        targets: set[str] = set()
+        for candidate in sorted(
+            self._class_closure(cls_name, "down")
+            | self._class_closure(cls_name, "up")
+        ):
+            for module_name, candidate_cls in self.classes.get(candidate, ()):
+                fid = self.class_methods.get(
+                    (module_name, candidate_cls), {}
+                ).get(method)
+                if fid is not None:
+                    targets.add(fid)
+        return tuple(sorted(targets))
+
+    def _resolve_typed(
+        self, owner: ModuleFacts, class_ref: str, method: str
+    ) -> tuple[str, ...]:
+        kind, _, rest = class_ref.partition(":")
+        if kind == "local":
+            return self._resolve_member(owner.module, rest, method)
+        if kind == "import":
+            resolved = self._resolve_dotted(f"{rest}.{method}")
+            if resolved:
+                return resolved
+            # The class path may point at a re-export; fall back to the
+            # bare class name if the project defines exactly one.
+            cls_name = rest.rpartition(".")[2]
+            locations = self.classes.get(cls_name, [])
+            if len(locations) == 1:
+                return self._resolve_member(*locations[0], method)
+        return ()
+
+    # ------------------------------------------------------------------
+    # Edges
+
+    def _resolve_edges(self) -> None:
+        for fid in sorted(self.functions):
+            node = self.functions[fid]
+            owner = self.by_module_name[node.module]
+            for site in node.facts.calls:
+                targets = self.resolve_ref(owner, site.ref)
+                targets = tuple(t for t in targets if t != fid)
+                if targets:
+                    node.edges.append((site, targets))
+
+    # ------------------------------------------------------------------
+    # Fixpoint propagation
+
+    def _propagate(self) -> None:
+        #: fid → {effect kind → Witness}
+        self.summaries: dict[str, dict[str, Witness]] = {}
+        #: fid → {exception name → Witness}
+        self.raise_summaries: dict[str, dict[str, Witness]] = {}
+        #: fid → {mutated parameter name → Witness} — the per-parameter
+        #: refinement behind PARAM_MUTATION: a callee mutating its own
+        #: ``self`` (e.g. any ``__init__``) only taints a caller whose
+        #: *operand* bound to that parameter is itself a parameter or a
+        #: module global.
+        self.mutated_params: dict[str, dict[str, Witness]] = {}
+        #: fids whose return value is (possibly) an unordered iterable.
+        self.unordered: set[str] = set()
+
+        for fid in sorted(self.functions):
+            node = self.functions[fid]
+            effects: dict[str, Witness] = {}
+            mutated: dict[str, Witness] = {}
+            for site in node.facts.effects:
+                witness = Witness(
+                    line=site.line,
+                    snippet=site.snippet,
+                    detail=site.detail,
+                )
+                if site.kind not in effects:
+                    effects[site.kind] = witness
+                if site.kind == PARAM_MUTATION and site.subject:
+                    mutated.setdefault(site.subject, witness)
+            self.summaries[fid] = effects
+            self.mutated_params[fid] = mutated
+            raises: dict[str, Witness] = {}
+            for raise_site in node.facts.raises:
+                if raise_site.name not in raises:
+                    raises[raise_site.name] = Witness(
+                        line=raise_site.line,
+                        snippet=raise_site.snippet,
+                        detail=f"raise {raise_site.name}",
+                    )
+            self.raise_summaries[fid] = raises
+            if node.facts.returns_unordered:
+                self.unordered.add(fid)
+
+        changed = True
+        while changed:
+            changed = False
+            for fid in sorted(self.functions):
+                node = self.functions[fid]
+                owner = self.by_module_name[node.module]
+                effects = self.summaries[fid]
+                raises = self.raise_summaries[fid]
+                for site, targets in node.edges:
+                    for target in targets:
+                        changed |= self._absorb(
+                            fid, effects, raises, site, target
+                        )
+                # Unordered-return propagation through `return f(...)`.
+                if fid not in self.unordered:
+                    for ref in node.facts.returned_refs:
+                        for target in self.resolve_ref(owner, ref):
+                            if target in self.unordered:
+                                self.unordered.add(fid)
+                                changed = True
+                                break
+
+    def _map_operands(self, site: CallSite, target: str) -> dict[str, str]:
+        """Callee parameter name → encoded root of the operand bound to it.
+
+        The receiver (when the call has one) binds the callee's first
+        parameter on a method; positional operands bind the following
+        positional parameters; keywords bind by name.  A parameter with
+        no mapped operand (constructor ``self``, defaulted parameter,
+        operand past a ``*args`` splat) is simply absent.
+        """
+        node = self.functions[target]
+        params = node.facts.params
+        mapping: dict[str, str] = {}
+        offset = 0
+        if (
+            node.facts.class_name is not None
+            and params
+            and params[0] in ("self", "cls")
+        ):
+            offset = 1
+            if site.receiver_root is not None:
+                mapping[params[0]] = site.receiver_root
+        n_positional = node.facts.n_positional or len(params)
+        for index, root in enumerate(site.arg_roots):
+            slot = offset + index
+            if slot >= n_positional:
+                break
+            mapping.setdefault(params[slot], root)
+        for name, root in site.kwarg_roots:
+            mapping.setdefault(name, root)
+        return mapping
+
+    def _absorb(
+        self,
+        fid: str,
+        effects: dict[str, Witness],
+        raises: dict[str, Witness],
+        site: CallSite,
+        target: str,
+    ) -> bool:
+        changed = False
+        target_effects = self.summaries.get(target, {})
+        target_mutated = self.mutated_params.get(target, {})
+        if target_mutated:
+            # Mutating *your own* argument is only the caller's problem
+            # when the caller handed over state it does not own: map each
+            # mutated callee parameter onto the operand bound to it.  A
+            # parameter-rooted operand stays a parameter mutation, a
+            # global-rooted one becomes a global write, and anything else
+            # (fresh objects, locals) stops here.
+            mapping = self._map_operands(site, target)
+            mutated = self.mutated_params.setdefault(fid, {})
+            for param in sorted(target_mutated):
+                root = mapping.get(param)
+                if not root:
+                    continue
+                klass, _, name = root.partition(":")
+                if klass == "param" and name not in mutated:
+                    witness = Witness(
+                        line=site.line,
+                        snippet=site.snippet,
+                        detail=(
+                            f"passes parameter {name!r} to {target}, "
+                            f"which mutates it"
+                        ),
+                        via=target,
+                    )
+                    mutated[name] = witness
+                    effects.setdefault(PARAM_MUTATION, witness)
+                    changed = True
+                elif klass == "global" and GLOBAL_WRITE not in effects:
+                    effects[GLOBAL_WRITE] = Witness(
+                        line=site.line,
+                        snippet=site.snippet,
+                        detail=(
+                            f"passes module-level {name!r} to {target}, "
+                            f"which mutates it"
+                        ),
+                        via=target,
+                    )
+                    changed = True
+        for kind in EFFECT_KINDS:
+            if kind not in target_effects or kind == PARAM_MUTATION:
+                continue
+            if kind not in effects:
+                effects[kind] = Witness(
+                    line=site.line,
+                    snippet=site.snippet,
+                    detail=f"calls {target}",
+                    via=target,
+                )
+                changed = True
+        for name in sorted(self.raise_summaries.get(target, {})):
+            if name in site.caught or "*" in site.caught:
+                continue
+            if name not in raises:
+                raises[name] = Witness(
+                    line=site.line,
+                    snippet=site.snippet,
+                    detail=f"calls {target}",
+                    via=target,
+                )
+                changed = True
+        return changed
+
+    # ------------------------------------------------------------------
+    # Queries (the rule-facing API)
+
+    def functions_named(self, name: str) -> list[str]:
+        """Sorted fids of every function/method with the bare name."""
+        return sorted(
+            fid
+            for fid, node in self.functions.items()
+            if node.facts.name == name
+        )
+
+    def effect_chain(self, fid: str, kind: str) -> list[str]:
+        """The witness chain for an effect: [fid, callee, ..., origin]."""
+        chain = [fid]
+        current = fid
+        for _ in range(_MAX_CHAIN):
+            witness = self.summaries.get(current, {}).get(kind)
+            if witness is None or witness.via is None:
+                break
+            if witness.via in chain:
+                break
+            chain.append(witness.via)
+            current = witness.via
+        return chain
+
+    def raise_chain(self, fid: str, name: str) -> list[str]:
+        chain = [fid]
+        current = fid
+        for _ in range(_MAX_CHAIN):
+            witness = self.raise_summaries.get(current, {}).get(name)
+            if witness is None or witness.via is None:
+                break
+            if witness.via in chain:
+                break
+            chain.append(witness.via)
+            current = witness.via
+        return chain
+
+    def reachable_from(
+        self, roots: Iterable[str]
+    ) -> dict[str, tuple[str, ...]]:
+        """BFS over edges: fid → path from the nearest root (inclusive)."""
+        paths: dict[str, tuple[str, ...]] = {}
+        frontier: list[str] = []
+        for root in sorted(set(roots)):
+            if root in self.functions and root not in paths:
+                paths[root] = (root,)
+                frontier.append(root)
+        while frontier:
+            current = frontier.pop(0)
+            for _site, targets in self.functions[current].edges:
+                for target in targets:
+                    if target not in paths:
+                        paths[target] = paths[current] + (target,)
+                        frontier.append(target)
+        return paths
+
+    def dispatch_roots(self) -> dict[str, list[str]]:
+        """rel_path → resolved pool-dispatch target fids in that module."""
+        roots: dict[str, list[str]] = {}
+        for rel_path, facts in self.modules.items():
+            resolved: set[str] = set()
+            for ref in facts.dispatch_targets:
+                resolved.update(self.resolve_ref(facts, ref))
+            if resolved:
+                roots[rel_path] = sorted(resolved)
+        return roots
+
+    def describe_chain(self, chain: list[str]) -> str:
+        """Human-readable arrow chain with the final witness detail."""
+        if not chain:
+            return ""
+        text = " -> ".join(chain)
+        last = chain[-1]
+        kinds = self.summaries.get(last, {})
+        return text if kinds is not None else text
+
+
+def build_callgraph(modules: Mapping[str, ModuleFacts]) -> CallGraph:
+    """Resolve and summarize the project's modules (the global pass)."""
+    return CallGraph(modules)

@@ -17,8 +17,9 @@ from typing import Sequence
 from repro.analysis.baseline import Baseline
 from repro.analysis.config import ConfigError, load_config
 from repro.analysis.engine import Analyzer
-from repro.analysis.reporting import render_json, render_text
+from repro.analysis.reporting import render_json, render_sarif, render_text
 from repro.analysis.rules import RULES
+from repro.analysis.rules_interproc import PROJECT_RULES
 
 USAGE_ERROR = 2
 
@@ -38,7 +39,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="report format (default: text)",
     )
@@ -59,8 +60,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--write-baseline",
+        "--update-baseline",
         action="store_true",
-        help="grandfather all current open findings into the baseline",
+        dest="write_baseline",
+        help=(
+            "regenerate the baseline in place, grandfathering all "
+            "current open findings"
+        ),
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the per-file summary cache for this run",
     )
     parser.add_argument(
         "--list-rules",
@@ -80,7 +91,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     if args.list_rules:
-        for rule in RULES:
+        for rule in list(RULES) + list(PROJECT_RULES):
             print(f"{rule.code}  {rule.name}: {rule.description}")
         print(
             "SUP001  missing-reason: detlint pragmas must carry "
@@ -116,7 +127,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     else:
         baseline = None
 
-    analyzer = Analyzer(config, baseline=baseline)
+    missing = [
+        entry
+        for entry in args.paths
+        if not os.path.exists(
+            entry if os.path.isabs(entry) else os.path.join(config.root, entry)
+        )
+    ]
+    if missing:
+        print(
+            f"detlint: path(s) not found: {', '.join(missing)}",
+            file=sys.stderr,
+        )
+        return USAGE_ERROR
+
+    use_cache = False if args.no_cache else None
+    analyzer = Analyzer(config, baseline=baseline, use_cache=use_cache)
     result = analyzer.run(args.paths or None)
 
     if args.write_baseline:
@@ -141,12 +167,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         )
         # Re-run against the freshly written baseline so the report and
         # exit code reflect the new state.
-        result = Analyzer(config, baseline=Baseline.load(target)).run(
-            args.paths or None
-        )
+        result = Analyzer(
+            config, baseline=Baseline.load(target), use_cache=use_cache
+        ).run(args.paths or None)
 
     if args.format == "json":
         sys.stdout.write(render_json(result))
+    elif args.format == "sarif":
+        sys.stdout.write(render_sarif(result))
     else:
         print(render_text(result, verbose=args.verbose))
     return result.exit_code

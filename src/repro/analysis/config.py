@@ -34,6 +34,7 @@ except ModuleNotFoundError:  # pragma: no cover - py3.10 path
 DEFAULT_TOOL_TABLE: dict[str, Any] = {
     "paths": ["src"],
     "baseline": "detlint-baseline.json",
+    "cache": ".detlint-cache.json",
     "exclude": [],
     "rules": {
         "DET001": {"allow": ["src/repro/utils/rng.py"]},
@@ -61,6 +62,47 @@ DEFAULT_TOOL_TABLE: dict[str, Any] = {
             "guards": ["clamp_cardinality", "join_result_cardinality"],
             "bound_names": ["MAX_CARDINALITY"],
         },
+        "PURE001": {
+            "include": ["src/repro/core", "src/repro/cost"],
+            "entrypoints": [
+                "batch_plan_cost",
+                "extend_state",
+                "plan_cost",
+                "price_batch",
+            ],
+        },
+        "DET005": {
+            "include": [
+                "src/repro/core",
+                "src/repro/cost",
+                "src/repro/obs",
+                "src/repro/parallel",
+            ]
+        },
+        "RACE001": {"include": ["src/repro/parallel"]},
+        "EXC002": {
+            "include": ["src/repro/core", "src/repro/cost"],
+            "contracts": {
+                "CostModel.plan_cost": [
+                    "CostOverflowError",
+                    "InjectedFault",
+                    "ValueError",
+                ],
+                "cost.incremental.extend_state": ["CostOverflowError"],
+                "vectorized.batch_plan_cost": ["InjectedFault", "ValueError"],
+                "BatchEvaluator.price_batch": ["InjectedFault", "ValueError"],
+                "core.optimizer.optimize": [
+                    "BudgetExhausted",
+                    "CostOverflowError",
+                    "InjectedFault",
+                    "KeyError",
+                    "NoValidPlanError",
+                    "PlanVerificationError",
+                    "TypeError",
+                    "ValueError",
+                ],
+            },
+        },
     },
 }
 
@@ -86,6 +128,8 @@ class DetlintConfig:
     root: str  # absolute project root
     paths: tuple[str, ...] = ("src",)
     baseline: str | None = "detlint-baseline.json"
+    #: Summary-cache path (relative to root); None disables caching.
+    cache: str | None = ".detlint-cache.json"
     exclude: tuple[str, ...] = ()
     rule_options: Mapping[str, Mapping[str, Any]] = field(
         default_factory=dict
@@ -145,7 +189,7 @@ def config_from_table(
     table: Mapping[str, Any], root: str, source: str
 ) -> DetlintConfig:
     """Validate and freeze one ``[tool.detlint]`` table."""
-    known = {"paths", "baseline", "exclude", "rules"}
+    known = {"paths", "baseline", "cache", "exclude", "rules"}
     unknown = sorted(set(table) - known)
     if unknown:
         raise ConfigError(
@@ -159,6 +203,11 @@ def config_from_table(
     baseline = table.get("baseline", "detlint-baseline.json")
     if baseline is not None and not isinstance(baseline, str):
         raise ConfigError("[tool.detlint] baseline must be a string")
+    cache = table.get("cache", ".detlint-cache.json")
+    if cache is not None and not isinstance(cache, str):
+        raise ConfigError("[tool.detlint] cache must be a string")
+    if cache == "":  # TOML has no null: empty string disables caching
+        cache = None
     exclude = table.get("exclude", [])
     if not isinstance(exclude, list) or not all(
         isinstance(p, str) for p in exclude
@@ -176,6 +225,7 @@ def config_from_table(
         root=os.path.abspath(root),
         paths=tuple(paths),
         baseline=baseline,
+        cache=cache,
         exclude=tuple(exclude),
         rule_options=rule_options,
         source=source,

@@ -1,0 +1,1463 @@
+"""Local dataflow: per-module fact extraction for the call-graph pass.
+
+This module answers one question per source file, in isolation: *what
+does each function in this file do, syntactically?*  The answers —
+:class:`FunctionFacts` records holding direct effect sites, outgoing
+call sites, raise sites, and return shapes — are pure functions of the
+file's bytes, which is what makes the content-hash summary cache sound:
+a file whose hash is unchanged contributes byte-identical facts, so only
+the (cheap) global resolution and fixpoint need to re-run on a warm
+lint.
+
+Everything project-wide — resolving a call site to the function it
+names, propagating effects transitively, deciding whether a summary
+violates a rule — lives in :mod:`repro.analysis.callgraph` and
+:mod:`repro.analysis.rules_interproc`.  Nothing here looks at more than
+one module.
+
+The extraction is deliberately conservative in both directions:
+
+* effects are recorded only for *syntactically certain* sites (a call
+  resolving through the import map to ``time.sleep`` blocks; ``x.f()``
+  on an untyped receiver is merely a dispatch edge), so a finding always
+  has a concrete witness line;
+* call edges over-approximate (an untyped method call fans out to every
+  project class defining that method), so "transitively free of X"
+  claims stay claims about every possible callee.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Sequence
+
+# ---------------------------------------------------------------------------
+# Shared syntactic tables (rules.py imports these; dataflow must not
+# import rules, so the shared vocabulary lives here).
+
+
+#: Wall-clock reading APIs (DET002 and the ``clock`` effect).
+WALL_CLOCK_APIS = {
+    "time.time",
+    "time.time_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.process_time",
+    "time.process_time_ns",
+    "time.clock_gettime",
+    "time.clock_gettime_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+#: RNG constructors that are deterministic *when given a seed argument*.
+SEEDED_RNG_CONSTRUCTORS = {
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+    "numpy.random.RandomState",
+    "numpy.random.PCG64",
+    "numpy.random.Philox",
+    "numpy.random.SFC64",
+    "numpy.random.MT19937",
+    "numpy.random.SeedSequence",
+}
+
+#: Exact dotted origins that perform IO (the purity-relevant subset).
+IO_APIS = {
+    "json.dump",
+    "pickle.dump",
+    "pickle.dumps",  # not IO, but environment-dependent for some types
+    "os.remove",
+    "os.unlink",
+    "os.rename",
+    "os.replace",
+    "os.mkdir",
+    "os.makedirs",
+    "os.rmdir",
+    "tempfile.mkstemp",
+    "tempfile.mkdtemp",
+    "tempfile.NamedTemporaryFile",
+    "tempfile.TemporaryDirectory",
+    "shutil.copy",
+    "shutil.copyfile",
+    "shutil.copytree",
+    "shutil.move",
+    "shutil.rmtree",
+}
+# pickle.dumps removed: serialization is deterministic for the types the
+# repo pickles and flagging it would poison the parallel orchestrator.
+IO_APIS.discard("pickle.dumps")
+
+#: Dotted-origin *prefixes* whose every member blocks (ASYNC001).
+BLOCKING_PREFIXES = (
+    "subprocess.",
+    "socket.",
+    "requests.",
+    "urllib.request.",
+    "http.client.",
+)
+
+#: Exact dotted origins that block the calling thread (ASYNC001).
+BLOCKING_APIS = {
+    "time.sleep",
+    "os.system",
+    "os.popen",
+    "os.wait",
+    "os.waitpid",
+    "select.select",
+    "signal.pause",
+} | IO_APIS
+
+#: Builtins that perform IO when called by bare name.
+IO_BUILTINS = {"open", "input", "print"}
+
+#: Builtins that block (``print`` excluded: console writes are not the
+#: kind of stall ASYNC001 hunts, and flagging it would be pure noise).
+BLOCKING_BUILTINS = {"open", "input"}
+
+#: Method names that mutate their receiver in-place (builtin containers).
+MUTATING_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "add",
+    "update",
+    "setdefault",
+    "pop",
+    "popitem",
+    "clear",
+    "remove",
+    "discard",
+    "sort",
+    "reverse",
+    "appendleft",
+    "write",
+    "writelines",
+}
+
+#: Attribute names never treated as project-method dispatch: they are
+#: overwhelmingly builtin container/str/file operations, and fanning out
+#: on them would wire every function to every same-named project method.
+DISPATCH_DENYLIST = MUTATING_METHODS | {
+    "get",
+    "keys",
+    "values",
+    "items",
+    "copy",
+    "join",
+    "split",
+    "rsplit",
+    "strip",
+    "lstrip",
+    "rstrip",
+    "startswith",
+    "endswith",
+    "format",
+    "replace",
+    "encode",
+    "decode",
+    "lower",
+    "upper",
+    "index",
+    "count",
+    "read",
+    "readline",
+    "readlines",
+    "close",
+    "flush",
+    "submit",
+    "result",
+    "shutdown",
+    "bit_count",
+    "bit_length",
+    "isoformat",
+}
+
+#: Ordered consumers for DET003/DET005 (``sorted`` is deliberately
+#: absent: wrapping in sorted() is the *fix*).
+ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "min", "max"}
+
+
+# ---------------------------------------------------------------------------
+# Import resolution (moved here from rules.py so both layers share it)
+
+
+class ImportMap:
+    """Local-name → dotted-origin resolution for one module.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``;
+    ``from random import shuffle as sh`` maps ``sh`` to
+    ``random.shuffle``; attribute chains resolve through the map, so
+    ``np.random.seed`` resolves to ``numpy.random.seed``.
+    """
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    origin = alias.name if alias.asname else local
+                    self.names[local] = origin
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                if node.level:  # relative import: project-internal
+                    continue
+                for alias in node.names:
+                    local = alias.asname or alias.name
+                    self.names[local] = f"{node.module}.{alias.name}"
+
+    def resolve(self, node: ast.AST) -> str | None:
+        """Dotted origin of a Name/Attribute chain, or None."""
+        parts: list[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        origin = self.names.get(current.id)
+        if origin is None:
+            return None
+        parts.append(origin)
+        return ".".join(reversed(parts))
+
+
+# ---------------------------------------------------------------------------
+# Unordered-expression classification (shared with DET003)
+
+
+def own_scope_walk(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a scope without descending into nested function/class scopes."""
+    stack: list[ast.AST] = list(ast.iter_child_nodes(scope))
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def is_unordered_expr(
+    node: ast.AST, tainted: frozenset[str] = frozenset()
+) -> bool:
+    """Syntactically-certain unordered iterables.
+
+    Sets, set comprehensions, ``set()``/``frozenset()`` calls, set
+    algebra, ``.keys()`` views — plus, given a taint set, names proven
+    to be bound to unordered values and hash-ordered views
+    (``.items()``/``.values()``/``.keys()``) over such names.
+    """
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in tainted
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in (
+            "keys",
+            "values",
+            "items",
+        ):
+            # Dict views are insertion-ordered, but insertion order is
+            # itself hash order whenever the dict was built from an
+            # unordered source — which the taint set proves.
+            if func.attr == "keys":
+                return True
+            return (
+                isinstance(func.value, ast.Name) and func.value.id in tainted
+            )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_unordered_expr(node.left, tainted) or is_unordered_expr(
+            node.right, tainted
+        )
+    return False
+
+
+def _assignment_values(scope: ast.AST) -> dict[str, list[ast.AST] | None]:
+    """Every single-Name assignment in a scope; ``None`` marks 'unknown'.
+
+    A name is only taintable when *every* binding we can see is a value
+    expression — loop targets, ``with ... as``, aug-assigns, tuple
+    unpacking, and ``global``/``nonlocal`` all poison it to unknown, so
+    the taint analysis stays conservative toward *not* flagging.
+    """
+    values: dict[str, list[ast.AST] | None] = {}
+
+    def poison(name: str) -> None:
+        values[name] = None
+
+    def record(name: str, value: ast.AST) -> None:
+        existing = values.get(name, [])
+        if existing is not None:
+            existing.append(value)
+            values[name] = existing
+
+    # A parameter default is a visible binding: ``def f(tags=frozenset(
+    # {...}))`` declares an unordered expected type, so iterating ``tags``
+    # orderly is flagged even though the caller could pass anything.
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = scope.args
+        positional = list(args.posonlyargs) + list(args.args)
+        defaulted = positional[len(positional) - len(args.defaults) :]
+        for arg, default in zip(defaulted, args.defaults):
+            record(arg.arg, default)
+        for arg, kw_default in zip(args.kwonlyargs, args.kw_defaults):
+            if kw_default is not None:
+                record(arg.arg, kw_default)
+
+    for node in own_scope_walk(scope):
+        if isinstance(node, ast.Assign):
+            if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+                record(node.targets[0].id, node.value)
+            else:
+                for target in node.targets:
+                    for inner in ast.walk(target):
+                        if isinstance(inner, ast.Name):
+                            poison(inner.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                if node.value is not None:
+                    record(node.target.id, node.value)
+        elif isinstance(node, ast.AugAssign):
+            if isinstance(node.target, ast.Name):
+                poison(node.target.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            for inner in ast.walk(node.target):
+                if isinstance(inner, ast.Name):
+                    poison(inner.id)
+        elif isinstance(node, (ast.Global, ast.Nonlocal)):
+            for name in node.names:
+                poison(name)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    for inner in ast.walk(item.optional_vars):
+                        if isinstance(inner, ast.Name):
+                            poison(inner.id)
+    return values
+
+
+def unordered_tainted_names(scope: ast.AST) -> frozenset[str]:
+    """Names in a scope whose every visible binding is an unordered value.
+
+    Runs to a (tiny) fixpoint so second-order taint is caught: a dict
+    comprehension over a tainted set taints the dict, whose ``.items()``
+    view is then hash-ordered too.  Rebinding a name to anything ordered
+    (``xs = sorted(xs)``) removes it from the set entirely.
+    """
+    values = _assignment_values(scope)
+    tainted: frozenset[str] = frozenset()
+    while True:
+        new = set(tainted)
+        for name, bindings in sorted(values.items()):
+            if bindings is None or not bindings or name in new:
+                continue
+            if all(_taints(value, frozenset(new)) for value in bindings):
+                new.add(name)
+        if frozenset(new) == tainted:
+            return tainted
+        tainted = frozenset(new)
+
+
+def _taints(value: ast.AST, tainted: frozenset[str]) -> bool:
+    """Does binding a name to ``value`` make that name unordered?"""
+    if is_unordered_expr(value, tainted):
+        return True
+    if isinstance(value, ast.DictComp):
+        return any(
+            is_unordered_expr(gen.iter, tainted) for gen in value.generators
+        )
+    if isinstance(value, ast.Call):
+        func = value.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "dict"
+            and value.args
+            and is_unordered_expr(value.args[0], tainted)
+        ):
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# Fact records (all JSON round-trippable for the summary cache)
+
+
+#: Effect kinds (the vocabulary the fixpoint propagates).
+RNG = "rng"
+CLOCK = "clock"
+IO = "io"
+BLOCKING = "blocking"
+GLOBAL_WRITE = "global-write"
+PARAM_MUTATION = "param-mutation"
+
+EFFECT_KINDS = (RNG, CLOCK, IO, BLOCKING, GLOBAL_WRITE, PARAM_MUTATION)
+
+
+@dataclass(frozen=True)
+class EffectSite:
+    """One direct effect with its witness location.
+
+    ``subject`` names what the effect acts on when that matters for
+    propagation: for :data:`PARAM_MUTATION` it is the mutated parameter,
+    so the call-graph pass can map it onto the caller's operands instead
+    of assuming every argument is at risk.
+    """
+
+    kind: str
+    line: int
+    snippet: str
+    detail: str
+    subject: str = ""
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "line": self.line,
+            "snippet": self.snippet,
+            "detail": self.detail,
+            "subject": self.subject,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "EffectSite":
+        return cls(
+            kind=data["kind"],
+            line=data["line"],
+            snippet=data["snippet"],
+            detail=data["detail"],
+            subject=data.get("subject", ""),
+        )
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One outgoing call edge, unresolved (a *reference*, not a target).
+
+    ``ref`` encodes what the resolver needs:
+
+    * ``local:<name>`` — module-level function/class in the same module;
+    * ``import:<dotted>`` — resolved through the import map;
+    * ``self:<Class>.<method>`` — method call on ``self``;
+    * ``typed:<dotted-class>.<method>`` — receiver's class is known from
+      a constructor assignment or annotation in the same scope;
+    * ``method:<name>`` — untyped method dispatch (fans out to every
+      project class defining ``<name>``);
+    * ``registry:<name>`` — a call through a lazy-factory registry dict.
+    """
+
+    ref: str
+    line: int
+    snippet: str
+    #: Exception names caught by enclosing ``try`` blocks at this site
+    #: ("*" = a catch-all handler).
+    caught: tuple[str, ...] = ()
+    #: Encoded root of the receiver (``"param:graph"``, ``"global:_C"``,
+    #: ``"local:x"``), ``""`` when the receiver has no name root, or
+    #: ``None`` when the call has no receiver at all (plain-name call,
+    #: including constructors).  The distinction matters: a constructor
+    #: call binds the callee's ``self`` to a *fresh* object, so the
+    #: callee mutating ``self`` is invisible to the caller.
+    receiver_root: str | None = None
+    #: Encoded root per positional argument (``""`` when the operand has
+    #: no name root).  Positions after a ``*args`` splat are dropped —
+    #: the mapping onto callee parameters would be wrong.
+    arg_roots: tuple[str, ...] = ()
+    #: Sorted ``(keyword, encoded root)`` pairs.
+    kwarg_roots: tuple[tuple[str, str], ...] = ()
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ref": self.ref,
+            "line": self.line,
+            "snippet": self.snippet,
+            "caught": list(self.caught),
+            "receiver_root": self.receiver_root,
+            "arg_roots": list(self.arg_roots),
+            "kwarg_roots": {name: root for name, root in self.kwarg_roots},
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "CallSite":
+        return cls(
+            ref=data["ref"],
+            line=data["line"],
+            snippet=data["snippet"],
+            caught=tuple(data["caught"]),
+            receiver_root=data.get("receiver_root"),
+            arg_roots=tuple(data["arg_roots"]),
+            kwarg_roots=tuple(
+                sorted(data.get("kwarg_roots", {}).items())
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class RaiseSite:
+    """One ``raise ExceptionName(...)`` not caught locally."""
+
+    name: str
+    line: int
+    snippet: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {"name": self.name, "line": self.line, "snippet": self.snippet}
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "RaiseSite":
+        return cls(
+            name=data["name"], line=data["line"], snippet=data["snippet"]
+        )
+
+
+@dataclass(frozen=True)
+class OrderedSite:
+    """A call whose *result* feeds an ordered construct (DET005).
+
+    If the callee turns out (after summary propagation) to return an
+    unordered iterable, this site consumes hash order.
+    """
+
+    ref: str
+    line: int
+    snippet: str
+    consumer: str
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "ref": self.ref,
+            "line": self.line,
+            "snippet": self.snippet,
+            "consumer": self.consumer,
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "OrderedSite":
+        return cls(
+            ref=data["ref"],
+            line=data["line"],
+            snippet=data["snippet"],
+            consumer=data["consumer"],
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Everything the global pass needs to know about one function."""
+
+    name: str  # bare name
+    qualname: str  # e.g. "CostModel.plan_cost" or "helper.<locals>.inner"
+    line: int
+    is_async: bool
+    class_name: str | None
+    params: tuple[str, ...]
+    #: How many leading entries of ``params`` accept positional binding
+    #: (positional-only + regular); the call-graph pass maps positional
+    #: call operands onto these and refuses to guess past them.
+    n_positional: int = 0
+    effects: list[EffectSite] = field(default_factory=list)
+    calls: list[CallSite] = field(default_factory=list)
+    raises: list[RaiseSite] = field(default_factory=list)
+    #: Return expression is itself a syntactically-unordered iterable.
+    returns_unordered: bool = False
+    #: Refs returned directly (``return f(...)``) — unordered-ness
+    #: propagates through these.
+    returned_refs: tuple[str, ...] = ()
+    #: Ordered-consumer call sites (DET005 candidates).
+    ordered_sites: list[OrderedSite] = field(default_factory=list)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "name": self.name,
+            "qualname": self.qualname,
+            "line": self.line,
+            "is_async": self.is_async,
+            "class_name": self.class_name,
+            "params": list(self.params),
+            "n_positional": self.n_positional,
+            "effects": [site.to_json() for site in self.effects],
+            "calls": [site.to_json() for site in self.calls],
+            "raises": [site.to_json() for site in self.raises],
+            "returns_unordered": self.returns_unordered,
+            "returned_refs": list(self.returned_refs),
+            "ordered_sites": [site.to_json() for site in self.ordered_sites],
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "FunctionFacts":
+        return cls(
+            name=data["name"],
+            qualname=data["qualname"],
+            line=data["line"],
+            is_async=data["is_async"],
+            class_name=data["class_name"],
+            params=tuple(data["params"]),
+            n_positional=data.get("n_positional", 0),
+            effects=[EffectSite.from_json(e) for e in data["effects"]],
+            calls=[CallSite.from_json(c) for c in data["calls"]],
+            raises=[RaiseSite.from_json(r) for r in data["raises"]],
+            returns_unordered=data["returns_unordered"],
+            returned_refs=tuple(data["returned_refs"]),
+            ordered_sites=[
+                OrderedSite.from_json(s) for s in data["ordered_sites"]
+            ],
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """The per-module unit the summary cache stores."""
+
+    module: str  # dotted module name, e.g. "repro.cost.base"
+    rel_path: str
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    #: class name → (base names, method names) for dispatch resolution.
+    classes: dict[str, dict[str, list[str]]] = field(default_factory=dict)
+    #: registry name → refs registered into it at module level.
+    registries: dict[str, list[str]] = field(default_factory=dict)
+    #: refs dispatched to a process pool (``.submit``/``.map`` targets).
+    dispatch_targets: list[str] = field(default_factory=list)
+    #: local name → dotted origin (the module's import map), kept so the
+    #: resolver can chase re-exports through ``__init__`` modules.
+    imports: dict[str, str] = field(default_factory=dict)
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "module": self.module,
+            "rel_path": self.rel_path,
+            "imports": dict(sorted(self.imports.items())),
+            "functions": {
+                name: facts.to_json()
+                for name, facts in sorted(self.functions.items())
+            },
+            "classes": {
+                name: {
+                    "bases": list(info["bases"]),
+                    "methods": list(info["methods"]),
+                }
+                for name, info in sorted(self.classes.items())
+            },
+            "registries": {
+                name: list(refs)
+                for name, refs in sorted(self.registries.items())
+            },
+            "dispatch_targets": list(self.dispatch_targets),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict[str, Any]) -> "ModuleFacts":
+        return cls(
+            module=data["module"],
+            rel_path=data["rel_path"],
+            imports=dict(data.get("imports", {})),
+            functions={
+                name: FunctionFacts.from_json(facts)
+                for name, facts in data["functions"].items()
+            },
+            classes={
+                name: {
+                    "bases": list(info["bases"]),
+                    "methods": list(info["methods"]),
+                }
+                for name, info in data["classes"].items()
+            },
+            registries={
+                name: list(refs)
+                for name, refs in data["registries"].items()
+            },
+            dispatch_targets=list(data["dispatch_targets"]),
+        )
+
+
+# ---------------------------------------------------------------------------
+# Extraction
+
+
+def module_name_for(rel_path: str) -> str:
+    """Dotted module name for a POSIX-style relative path.
+
+    ``src/repro/cost/base.py`` → ``repro.cost.base``;
+    ``src/repro/cost/__init__.py`` → ``repro.cost``.  Paths outside a
+    ``src/`` layout keep their directory spine, which is enough for the
+    resolver (module names only need to be *consistent*, not importable).
+    """
+    path = rel_path
+    if path.endswith(".py"):
+        path = path[: -len(".py")]
+    parts = [part for part in path.split("/") if part]
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts) or "__root__"
+
+
+def _snippet(lines: Sequence[str], lineno: int) -> str:
+    if 1 <= lineno <= len(lines):
+        return lines[lineno - 1].strip()
+    return ""
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The leftmost Name of an attribute/subscript/call chain."""
+    current = node
+    while isinstance(current, (ast.Attribute, ast.Subscript, ast.Call)):
+        current = (
+            current.func if isinstance(current, ast.Call) else current.value
+        )
+    if isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _terminal_identifier(node: ast.AST) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+class _ModuleExtractor:
+    """One pass over a parsed module, producing :class:`ModuleFacts`."""
+
+    def __init__(
+        self,
+        rel_path: str,
+        tree: ast.Module,
+        lines: Sequence[str],
+        imports: ImportMap | None = None,
+    ) -> None:
+        self.rel_path = rel_path
+        self.tree = tree
+        self.lines = lines
+        self.imports = imports if imports is not None else ImportMap(tree)
+        self.facts = ModuleFacts(
+            module=module_name_for(rel_path), rel_path=rel_path
+        )
+        #: Module-level bindings (defs, classes, assigned names, imports):
+        #: mutation of these from inside a function is a global write.
+        self.module_names: set[str] = set(self.imports.names)
+        self.module_functions: set[str] = set()
+        self.module_classes: set[str] = set()
+
+    # -- entry point ----------------------------------------------------
+
+    def extract(self) -> ModuleFacts:
+        self.facts.imports = dict(self.imports.names)
+        self._scan_module_level()
+        for top in ast.iter_child_nodes(self.tree):
+            if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._extract_function(top, class_name=None, prefix="")
+            elif isinstance(top, ast.ClassDef):
+                self._extract_class(top)
+        self._scan_registries()
+        self._scan_dispatch_targets()
+        return self.facts
+
+    # -- module-level scan ----------------------------------------------
+
+    def _scan_module_level(self) -> None:
+        for top in ast.iter_child_nodes(self.tree):
+            if isinstance(top, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self.module_names.add(top.name)
+                self.module_functions.add(top.name)
+            elif isinstance(top, ast.ClassDef):
+                self.module_names.add(top.name)
+                self.module_classes.add(top.name)
+        # Assigned module-level names (walk top-level statements incl.
+        # loop/if bodies, but never inside defs/classes).
+        for node in own_scope_walk(self.tree):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    for inner in ast.walk(target):
+                        if isinstance(inner, ast.Name):
+                            self.module_names.add(inner.id)
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                if isinstance(node.target, ast.Name):
+                    self.module_names.add(node.target.id)
+
+    def _extract_class(self, cls: ast.ClassDef) -> None:
+        bases = sorted(
+            {
+                base_name
+                for base in cls.bases
+                for base_name in [_terminal_identifier(base)]
+                if base_name is not None
+            }
+        )
+        methods: list[str] = []
+        for member in ast.iter_child_nodes(cls):
+            if isinstance(member, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                methods.append(member.name)
+                self._extract_function(
+                    member, class_name=cls.name, prefix=f"{cls.name}."
+                )
+        self.facts.classes[cls.name] = {
+            "bases": bases,
+            "methods": sorted(methods),
+        }
+
+    # -- function extraction --------------------------------------------
+
+    def _extract_function(
+        self,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+        class_name: str | None,
+        prefix: str,
+    ) -> None:
+        qualname = f"{prefix}{node.name}"
+        args = node.args
+        params = tuple(
+            arg.arg
+            for arg in (
+                list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+            )
+        ) + tuple(
+            arg.arg for arg in (args.vararg, args.kwarg) if arg is not None
+        )
+        facts = FunctionFacts(
+            name=node.name,
+            qualname=qualname,
+            line=node.lineno,
+            is_async=isinstance(node, ast.AsyncFunctionDef),
+            class_name=class_name,
+            params=params,
+            n_positional=len(args.posonlyargs) + len(args.args),
+        )
+        visitor = _FunctionVisitor(self, facts, node)
+        visitor.run()
+        self.facts.functions[qualname] = facts
+        # Nested defs become their own facts with an implicit call edge
+        # from the parent (over-approximate: defining is not calling,
+        # but a closure's effects are almost always the parent's).
+        for child in visitor.nested:
+            child_prefix = f"{qualname}.<locals>."
+            self._extract_function(child, class_name, child_prefix)
+            facts.calls.append(
+                CallSite(
+                    ref=f"local:{child_prefix}{child.name}",
+                    line=child.lineno,
+                    snippet=_snippet(self.lines, child.lineno),
+                    caught=(),
+                    arg_roots=(),
+                )
+            )
+
+    # -- registries (lazy-factory pattern in combinations.py) ------------
+
+    def _scan_registries(self) -> None:
+        registries: dict[str, list[str]] = {}
+
+        def value_refs(value: ast.AST) -> list[str]:
+            refs: list[str] = []
+            if isinstance(value, ast.Name):
+                ref = self._name_ref(value.id)
+                if ref is not None:
+                    refs.append(ref)
+            elif isinstance(value, ast.Lambda):
+                for inner in ast.walk(value.body):
+                    if isinstance(inner, ast.Call):
+                        ref = self._callable_ref(inner.func)
+                        if ref is not None:
+                            refs.append(ref)
+            elif isinstance(value, ast.Attribute):
+                origin = self.imports.resolve(value)
+                if origin is not None:
+                    refs.append(f"import:{origin}")
+            return refs
+
+        for node in own_scope_walk(self.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name) and isinstance(
+                    node.value, ast.Dict
+                ):
+                    refs: list[str] = []
+                    for value in node.value.values:
+                        refs.extend(value_refs(value))
+                    if refs:
+                        registries.setdefault(target.id, []).extend(refs)
+                elif isinstance(target, ast.Subscript) and isinstance(
+                    target.value, ast.Name
+                ):
+                    refs = value_refs(node.value)
+                    if refs:
+                        registries.setdefault(target.value.id, []).extend(refs)
+        self.facts.registries = {
+            name: sorted(set(refs)) for name, refs in sorted(registries.items())
+        }
+
+    # -- pool dispatch targets (RACE001 roots) ---------------------------
+
+    def _scan_dispatch_targets(self) -> None:
+        targets: set[str] = set()
+        for node in ast.walk(self.tree):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("submit", "map")
+                and node.args
+            ):
+                continue
+            target = node.args[0]
+            if isinstance(target, ast.Call):  # functools.partial(f, ...)
+                origin = self.imports.resolve(target.func)
+                if origin == "functools.partial" and target.args:
+                    target = target.args[0]
+            ref = self._callable_ref(target)
+            if ref is not None:
+                targets.add(ref)
+        self.facts.dispatch_targets = sorted(targets)
+
+    # -- ref construction -------------------------------------------------
+
+    def _name_ref(self, name: str) -> str | None:
+        if name in self.module_functions or name in self.module_classes:
+            return f"local:{name}"
+        origin = self.imports.names.get(name)
+        if origin is not None:
+            return f"import:{origin}"
+        return None
+
+    def _callable_ref(self, func: ast.AST) -> str | None:
+        """Ref for an arbitrary callable expression (no receiver typing)."""
+        if isinstance(func, ast.Name):
+            return self._name_ref(func.id)
+        if isinstance(func, ast.Attribute):
+            origin = self.imports.resolve(func)
+            if origin is not None:
+                return f"import:{origin}"
+            if func.attr not in DISPATCH_DENYLIST and not func.attr.startswith(
+                "__"
+            ):
+                return f"method:{func.attr}"
+        return None
+
+
+class _FunctionVisitor:
+    """Walks one function body (excluding nested defs) collecting facts."""
+
+    def __init__(
+        self,
+        extractor: _ModuleExtractor,
+        facts: FunctionFacts,
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> None:
+        self.extractor = extractor
+        self.facts = facts
+        self.node = node
+        self.nested: list[ast.FunctionDef | ast.AsyncFunctionDef] = []
+        self.params = set(facts.params)
+        self.locals = self._local_names(node)
+        self.var_types = self._receiver_types(node)
+        self.tainted = unordered_tainted_names(node)
+        #: ids of Call nodes already consumed as effect sites or
+        #: registry/ordered special cases, so they do not double-count.
+        self._claimed: set[int] = set()
+
+    # -- setup ------------------------------------------------------------
+
+    def _local_names(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> set[str]:
+        names: set[str] = set()
+        for inner in own_scope_walk(node):
+            if isinstance(inner, ast.Name) and isinstance(
+                inner.ctx, ast.Store
+            ):
+                names.add(inner.id)
+            elif isinstance(inner, (ast.Global, ast.Nonlocal)):
+                names.difference_update(inner.names)
+        return names
+
+    def _receiver_types(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> dict[str, str]:
+        """var name → dotted class ref, from constructors and annotations."""
+        types: dict[str, str] = {}
+
+        def class_ref(expr: ast.AST) -> str | None:
+            name = _terminal_identifier(expr)
+            if isinstance(expr, ast.Name):
+                if name in self.extractor.module_classes:
+                    return f"local:{name}"
+                origin = self.extractor.imports.names.get(expr.id)
+                if origin is not None:
+                    return f"import:{origin}"
+                return None
+            if isinstance(expr, ast.Attribute):
+                origin = self.extractor.imports.resolve(expr)
+                if origin is not None:
+                    return f"import:{origin}"
+            return None
+
+        # Parameter annotations.
+        args = node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            if arg.annotation is not None:
+                ref = class_ref(arg.annotation)
+                if ref is not None:
+                    types[arg.arg] = ref
+        # Constructor assignments: x = ClassName(...).
+        for inner in own_scope_walk(node):
+            if (
+                isinstance(inner, ast.Assign)
+                and len(inner.targets) == 1
+                and isinstance(inner.targets[0], ast.Name)
+                and isinstance(inner.value, ast.Call)
+            ):
+                ref = class_ref(inner.value.func)
+                if ref is not None:
+                    types[inner.targets[0].id] = ref
+        return types
+
+    # -- walk -------------------------------------------------------------
+
+    def run(self) -> None:
+        for stmt in self.node.body:
+            self._visit(stmt, caught=())
+
+    def _visit(self, node: ast.AST, caught: tuple[str, ...]) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.nested.append(node)
+            return
+        if isinstance(node, ast.Lambda):
+            return  # a lambda's body runs later, elsewhere; skip
+        if isinstance(node, ast.Try):
+            handler_names = self._handler_names(node)
+            inner_caught = tuple(sorted(set(caught) | handler_names))
+            for stmt in node.body:
+                self._visit(stmt, inner_caught)
+            for handler in node.handlers:
+                for stmt in handler.body:
+                    self._visit(stmt, caught)
+            for stmt in node.orelse:
+                self._visit(stmt, inner_caught)
+            for stmt in node.finalbody:
+                self._visit(stmt, caught)
+            return
+
+        self._inspect(node, caught)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, caught)
+
+    @staticmethod
+    def _handler_names(node: ast.Try) -> set[str]:
+        names: set[str] = set()
+        for handler in node.handlers:
+            kind = handler.type
+            if kind is None:
+                names.add("*")
+            elif isinstance(kind, ast.Tuple):
+                for item in kind.elts:
+                    name = _terminal_identifier(item)
+                    if name is not None:
+                        names.add(
+                            "*"
+                            if name in ("Exception", "BaseException")
+                            else name
+                        )
+            else:
+                name = _terminal_identifier(kind)
+                if name is not None:
+                    names.add(
+                        "*" if name in ("Exception", "BaseException") else name
+                    )
+        return names
+
+    # -- per-node inspection ----------------------------------------------
+
+    def _inspect(self, node: ast.AST, caught: tuple[str, ...]) -> None:
+        if isinstance(node, ast.Call):
+            self._inspect_call(node, caught)
+        elif isinstance(node, ast.Raise):
+            self._inspect_raise(node, caught)
+        elif isinstance(node, ast.Return):
+            self._inspect_return(node)
+        elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            self._inspect_assignment(node)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            self._inspect_loop(node)
+        elif isinstance(node, ast.ListComp):
+            for generator in node.generators:
+                if is_unordered_expr(generator.iter, self.tainted):
+                    continue  # DET003's intraprocedural territory
+                self._maybe_ordered_site(generator.iter, "list comprehension")
+
+    def _effect(
+        self, kind: str, node: ast.AST, detail: str, subject: str = ""
+    ) -> None:
+        line = getattr(node, "lineno", self.facts.line)
+        self.facts.effects.append(
+            EffectSite(
+                kind=kind,
+                line=line,
+                snippet=_snippet(self.extractor.lines, line),
+                detail=detail,
+                subject=subject,
+            )
+        )
+
+    def _inspect_call(self, node: ast.Call, caught: tuple[str, ...]) -> None:
+        if id(node) in self._claimed:
+            return
+        self._claimed.add(id(node))
+        imports = self.extractor.imports
+        func = node.func
+
+        self._caught_here = caught
+        # Ordered consumers: list(f(...)), min(f(...)), "".join(f(...)).
+        consumer: str | None = None
+        if isinstance(func, ast.Name) and func.id in ORDERED_CONSUMERS:
+            consumer = func.id
+        elif isinstance(func, ast.Attribute) and func.attr == "join":
+            consumer = "str.join"
+        if consumer is not None and node.args:
+            head = node.args[0]
+            if isinstance(head, ast.GeneratorExp):
+                for gen in head.generators:
+                    if not is_unordered_expr(gen.iter, self.tainted):
+                        self._maybe_ordered_site(gen.iter, consumer)
+            elif not is_unordered_expr(head, self.tainted):
+                self._maybe_ordered_site(head, consumer)
+
+        # ProcessPoolExecutor.submit(...).result() — synchronous blocking.
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "result"
+            and isinstance(func.value, ast.Call)
+            and isinstance(func.value.func, ast.Attribute)
+            and func.value.func.attr == "submit"
+        ):
+            self._effect(
+                BLOCKING,
+                node,
+                "submit(...).result() blocks until the pooled job finishes",
+            )
+            return
+
+        origin = imports.resolve(func)
+        if origin is not None:
+            if self._origin_effects(node, origin):
+                return
+            # A dotted origin that is not a known external effect is a
+            # potential project-internal call.
+            self.facts.calls.append(self._call_site(node, f"import:{origin}"))
+            return
+
+        if isinstance(func, ast.Name):
+            if func.id in IO_BUILTINS:
+                self._effect(IO, node, f"builtin {func.id}() performs IO")
+                if func.id in BLOCKING_BUILTINS:
+                    self._effect(
+                        BLOCKING, node, f"builtin {func.id}() blocks on IO"
+                    )
+                return
+            ref = self.extractor._name_ref(func.id)
+            if ref is not None:
+                self.facts.calls.append(self._call_site(node, ref))
+            elif func.id in self.locals:
+                # A locally-bound callable: check registry reads.
+                registry_ref = self._registry_ref(func.id)
+                if registry_ref is not None:
+                    self.facts.calls.append(
+                        self._call_site(node, registry_ref)
+                    )
+            return
+
+        if isinstance(func, ast.Attribute):
+            receiver = func.value
+            attr = func.attr
+            if isinstance(receiver, ast.Name):
+                if receiver.id == "self" and self.facts.class_name is not None:
+                    self.facts.calls.append(
+                        self._call_site(
+                            node, f"self:{self.facts.class_name}.{attr}"
+                        )
+                    )
+                    return
+                typed = self.var_types.get(receiver.id)
+                if typed is not None:
+                    self.facts.calls.append(
+                        self._call_site(node, f"typed:{typed}.{attr}")
+                    )
+                    return
+            if attr in MUTATING_METHODS:
+                self._mutation_via_method(node, receiver, attr)
+                return
+            if attr not in DISPATCH_DENYLIST and not attr.startswith("__"):
+                self.facts.calls.append(self._call_site(node, f"method:{attr}"))
+
+    def _registry_ref(self, name: str) -> str | None:
+        """``factory = REGISTRY[key]; factory()`` → a registry edge."""
+        for inner in own_scope_walk(self.node):
+            if (
+                isinstance(inner, ast.Assign)
+                and len(inner.targets) == 1
+                and isinstance(inner.targets[0], ast.Name)
+                and inner.targets[0].id == name
+                and isinstance(inner.value, ast.Subscript)
+                and isinstance(inner.value.value, ast.Name)
+            ):
+                return f"registry:{inner.value.value.id}"
+        return None
+
+    def _origin_effects(self, node: ast.Call, origin: str) -> bool:
+        """Record effects for a call with a resolved external origin."""
+        recorded = False
+        if origin in WALL_CLOCK_APIS:
+            self._effect(CLOCK, node, f"{origin} reads the wall clock")
+            recorded = True
+        if origin in SEEDED_RNG_CONSTRUCTORS:
+            if not node.args and not node.keywords:
+                self._effect(
+                    RNG, node, f"{origin}() without a seed draws OS entropy"
+                )
+            return True  # constructor handled either way
+        if origin.startswith("random.") or origin.startswith("numpy.random."):
+            self._effect(
+                RNG, node, f"{origin} draws interpreter-global RNG state"
+            )
+            recorded = True
+        if origin in BLOCKING_APIS or origin.startswith(BLOCKING_PREFIXES):
+            self._effect(BLOCKING, node, f"{origin} blocks the calling thread")
+            if origin in IO_APIS or origin.startswith(BLOCKING_PREFIXES):
+                self._effect(IO, node, f"{origin} performs IO")
+            recorded = True
+        elif origin in IO_APIS:
+            self._effect(IO, node, f"{origin} performs IO")
+            recorded = True
+        return recorded
+
+    def _call_site(self, node: ast.Call, ref: str) -> CallSite:
+        receiver_root: str | None = None
+        if isinstance(node.func, ast.Attribute):
+            receiver_root = self._encoded_root(node.func.value)
+        arg_roots: list[str] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                break  # positions after a splat are unknowable
+            arg_roots.append(self._encoded_root(arg))
+        kwarg_roots = tuple(
+            sorted(
+                (kw.arg, self._encoded_root(kw.value))
+                for kw in node.keywords
+                if kw.arg is not None
+            )
+        )
+        line = node.lineno
+        return CallSite(
+            ref=ref,
+            line=line,
+            snippet=_snippet(self.extractor.lines, line),
+            caught=getattr(self, "_caught_here", ()),
+            receiver_root=receiver_root,
+            arg_roots=tuple(arg_roots),
+            kwarg_roots=kwarg_roots,
+        )
+
+    def _encoded_root(self, operand: ast.AST) -> str:
+        root = _root_name(operand)
+        if root is None:
+            return ""
+        return f"{self._classify_root(root)}:{root}"
+
+    def _classify_root(self, root: str) -> str:
+        if root in self.params:
+            return "param"
+        if root in self.locals:
+            return "local"
+        if root in self.extractor.module_names:
+            return "global"
+        return "local"
+
+    def _mutation_via_method(
+        self, node: ast.Call, receiver: ast.AST, attr: str
+    ) -> None:
+        root = _root_name(receiver)
+        if root is None:
+            return
+        kind = self._classify_root(root)
+        if kind == "param":
+            self._effect(
+                PARAM_MUTATION,
+                node,
+                f".{attr}() mutates parameter {root!r} in place",
+                subject=root,
+            )
+        elif kind == "global":
+            self._effect(
+                GLOBAL_WRITE,
+                node,
+                f".{attr}() mutates module-level {root!r} in place",
+            )
+
+    def _inspect_raise(self, node: ast.Raise, caught: tuple[str, ...]) -> None:
+        if node.exc is None:
+            return  # bare re-raise: the original raise is the witness
+        exc = node.exc
+        if isinstance(exc, ast.Call):
+            exc = exc.func
+        name = _terminal_identifier(exc)
+        if name is None:
+            return
+        if "*" in caught or name in caught:
+            return
+        self.facts.raises.append(
+            RaiseSite(
+                name=name,
+                line=node.lineno,
+                snippet=_snippet(self.extractor.lines, node.lineno),
+            )
+        )
+
+    def _inspect_return(self, node: ast.Return) -> None:
+        if node.value is None:
+            return
+        if is_unordered_expr(node.value, self.tainted):
+            self.facts.returns_unordered = True
+            return
+        if isinstance(node.value, ast.Call):
+            ref = self._result_ref(node.value)
+            if ref is not None:
+                self.facts.returned_refs = tuple(
+                    sorted(set(self.facts.returned_refs) | {ref})
+                )
+
+    def _result_ref(self, call: ast.Call) -> str | None:
+        """Ref of a called expression, for return/consumer tracking."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            if func.id in ("sorted", "set", "frozenset"):
+                return None
+            return self.extractor._name_ref(func.id)
+        if isinstance(func, ast.Attribute):
+            origin = self.extractor.imports.resolve(func)
+            if origin is not None:
+                return f"import:{origin}"
+            if isinstance(func.value, ast.Name):
+                if func.value.id == "self" and self.facts.class_name:
+                    return f"self:{self.facts.class_name}.{func.attr}"
+                typed = self.var_types.get(func.value.id)
+                if typed is not None:
+                    return f"typed:{typed}.{func.attr}"
+            if (
+                func.attr not in DISPATCH_DENYLIST
+                and not func.attr.startswith("__")
+            ):
+                return f"method:{func.attr}"
+        return None
+
+    def _inspect_assignment(
+        self, node: ast.Assign | ast.AugAssign | ast.AnnAssign
+    ) -> None:
+        targets = (
+            node.targets if isinstance(node, ast.Assign) else [node.target]
+        )
+        for target in targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                root = _root_name(target)
+                if root is None:
+                    continue
+                kind = self._classify_root(root)
+                shape = (
+                    "attribute" if isinstance(target, ast.Attribute) else "item"
+                )
+                if kind == "param":
+                    self._effect(
+                        PARAM_MUTATION,
+                        node,
+                        f"{shape} assignment mutates parameter {root!r}",
+                        subject=root,
+                    )
+                elif kind == "global":
+                    self._effect(
+                        GLOBAL_WRITE,
+                        node,
+                        f"{shape} assignment mutates module-level {root!r}",
+                    )
+            elif isinstance(target, ast.Name):
+                if (
+                    target.id not in self.locals
+                    and target.id not in self.params
+                    and self._declared_global(target.id)
+                ):
+                    self._effect(
+                        GLOBAL_WRITE,
+                        node,
+                        f"assignment rebinds module global {target.id!r}",
+                    )
+
+    def _declared_global(self, name: str) -> bool:
+        for inner in own_scope_walk(self.node):
+            if isinstance(inner, ast.Global) and name in inner.names:
+                return True
+        return False
+
+    def _inspect_loop(self, node: ast.For | ast.AsyncFor) -> None:
+        if is_unordered_expr(node.iter, self.tainted):
+            return  # DET003 handles syntactically-certain sources
+        witness = order_sensitive_loop(node)
+        if witness is not None:
+            self._maybe_ordered_site(node.iter, "order-sensitive loop")
+
+    def _maybe_ordered_site(self, expr: ast.AST, consumer: str) -> None:
+        if not isinstance(expr, ast.Call):
+            return
+        ref = self._result_ref(expr)
+        if ref is None:
+            return
+        line = expr.lineno
+        self.facts.ordered_sites.append(
+            OrderedSite(
+                ref=ref,
+                line=line,
+                snippet=_snippet(self.extractor.lines, line),
+                consumer=consumer,
+            )
+        )
+
+
+def order_sensitive_loop(loop: ast.For | ast.AsyncFor) -> ast.AST | None:
+    """First statement in the body that makes iteration order observable."""
+    for node in ast.walk(loop):
+        if isinstance(node, (ast.Break, ast.Return, ast.Yield, ast.YieldFrom)):
+            return node
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in ("append", "extend", "insert")
+        ):
+            return node
+        if isinstance(node, (ast.Assign, ast.AugAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            if any(isinstance(t, ast.Subscript) for t in targets):
+                return node
+    return None
+
+
+def extract_module_facts(
+    rel_path: str,
+    tree: ast.Module,
+    lines: Sequence[str],
+    imports: ImportMap | None = None,
+) -> ModuleFacts:
+    """Extract the per-module facts the global pass consumes."""
+    return _ModuleExtractor(rel_path, tree, lines, imports).extract()

@@ -1,15 +1,18 @@
-"""Reporters: human-readable text and machine-readable JSON.
+"""Reporters: human-readable text, machine-readable JSON, and SARIF.
 
-Both render the same :class:`~repro.analysis.engine.AnalysisResult`;
-both are deterministic (findings arrive pre-sorted from the engine and
-JSON keys are emitted sorted), so report diffs track code diffs.
+All three render the same :class:`~repro.analysis.engine.AnalysisResult`;
+all are deterministic (findings arrive pre-sorted from the engine and
+JSON keys are emitted sorted), so report diffs track code diffs — the
+determinism test asserts two runs produce byte-identical JSON *and*
+SARIF documents.
 """
 
 from __future__ import annotations
 
 import json
+from typing import Any
 
-from repro.analysis.engine import AnalysisResult
+from repro.analysis.engine import ANALYSIS_VERSION, AnalysisResult
 from repro.analysis.findings import Finding
 
 REPORT_VERSION = 1
@@ -83,5 +86,93 @@ def render_json(result: AnalysisResult) -> str:
             for finding in result.findings
         ],
         "stale_baseline": list(result.stale_baseline),
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _sarif_rules() -> list[dict[str, Any]]:
+    """Metadata for every rule the run can emit, in sorted id order."""
+    from repro.analysis.rules import RULES
+    from repro.analysis.rules_interproc import PROJECT_RULES
+
+    catalogue: dict[str, tuple[str, str]] = {
+        "SYN001": ("parse-error", "file does not parse"),
+        "SUP001": (
+            "missing-reason",
+            "detlint pragmas must carry '-- <reason>'",
+        ),
+        "SUP002": (
+            "unused-suppression",
+            "pragmas must match a finding on their target line",
+        ),
+    }
+    for rule in list(RULES) + list(PROJECT_RULES):
+        catalogue[rule.code] = (rule.name, rule.description)
+    return [
+        {
+            "id": code,
+            "name": name,
+            "shortDescription": {"text": name},
+            "fullDescription": {"text": description},
+        }
+        for code, (name, description) in sorted(catalogue.items())
+    ]
+
+
+def render_sarif(result: AnalysisResult) -> str:
+    """SARIF 2.1.0 (stable key order, trailing newline).
+
+    Open findings are ``error``-level results; suppressed and baselined
+    findings ride along with a SARIF ``suppressions`` entry (``inSource``
+    for pragmas, ``external`` for the baseline) so downstream viewers can
+    show or hide them without re-running the analyzer.
+    """
+    results: list[dict[str, Any]] = []
+    for finding in result.findings:
+        entry: dict[str, Any] = {
+            "ruleId": finding.rule,
+            "level": "error" if finding.counts else "note",
+            "message": {"text": finding.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": finding.path},
+                        "region": {
+                            "startLine": finding.line,
+                            "startColumn": finding.column + 1,
+                        },
+                    }
+                }
+            ],
+            "partialFingerprints": {"detlint/v1": finding.fingerprint},
+        }
+        if finding.suppressed:
+            suppression: dict[str, Any] = {"kind": "inSource"}
+            if finding.suppression_reason:
+                suppression["justification"] = finding.suppression_reason
+            entry["suppressions"] = [suppression]
+        elif finding.baselined:
+            entry["suppressions"] = [{"kind": "external"}]
+        results.append(entry)
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "detlint",
+                        "version": ANALYSIS_VERSION,
+                        "informationUri": (
+                            "https://example.invalid/repro/docs/"
+                            "static-analysis"
+                        ),
+                        "rules": _sarif_rules(),
+                    }
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
     }
     return json.dumps(document, indent=2, sort_keys=True) + "\n"

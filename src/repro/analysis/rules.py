@@ -21,54 +21,26 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Iterator
 
 from repro.analysis.config import path_matches
+from repro.analysis.dataflow import (
+    ORDERED_CONSUMERS,
+    SEEDED_RNG_CONSTRUCTORS,
+    WALL_CLOCK_APIS,
+    ImportMap,
+    is_unordered_expr,
+    order_sensitive_loop,
+    own_scope_walk,
+    unordered_tainted_names,
+)
 from repro.analysis.findings import Finding, Rule
 
 if TYPE_CHECKING:  # pragma: no cover - engine imports rules at runtime
     from repro.analysis.engine import ModuleContext
 
+__all__ = ["RULES", "rule_registry", "ImportMap"]
+
 
 # ---------------------------------------------------------------------------
 # Shared helpers
-
-
-class ImportMap:
-    """Local-name → dotted-origin resolution for one module.
-
-    ``import numpy as np`` maps ``np`` to ``numpy``;
-    ``from random import shuffle as sh`` maps ``sh`` to
-    ``random.shuffle``; attribute chains resolve through the map, so
-    ``np.random.seed`` resolves to ``numpy.random.seed``.
-    """
-
-    def __init__(self, tree: ast.AST) -> None:
-        self.names: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    local = alias.asname or alias.name.split(".")[0]
-                    origin = alias.name if alias.asname else local
-                    self.names[local] = origin
-            elif isinstance(node, ast.ImportFrom) and node.module:
-                if node.level:  # relative import: project-internal
-                    continue
-                for alias in node.names:
-                    local = alias.asname or alias.name
-                    self.names[local] = f"{node.module}.{alias.name}"
-
-    def resolve(self, node: ast.AST) -> str | None:
-        """Dotted origin of a Name/Attribute chain, or None."""
-        parts: list[str] = []
-        current = node
-        while isinstance(current, ast.Attribute):
-            parts.append(current.attr)
-            current = current.value
-        if not isinstance(current, ast.Name):
-            return None
-        origin = self.names.get(current.id)
-        if origin is None:
-            return None
-        parts.append(origin)
-        return ".".join(reversed(parts))
 
 
 def _call_func_ids(tree: ast.AST) -> set[int]:
@@ -82,18 +54,9 @@ def _call_func_ids(tree: ast.AST) -> set[int]:
 # DET001 — unseeded / ambient RNG
 
 
-#: RNG constructors that are deterministic *when given a seed argument*.
-_SEEDED_CONSTRUCTORS = {
-    "random.Random",
-    "numpy.random.default_rng",
-    "numpy.random.Generator",
-    "numpy.random.RandomState",
-    "numpy.random.PCG64",
-    "numpy.random.Philox",
-    "numpy.random.SFC64",
-    "numpy.random.MT19937",
-    "numpy.random.SeedSequence",
-}
+#: RNG constructors that are deterministic *when given a seed argument*
+#: (shared with the dataflow layer's ``rng`` effect extraction).
+_SEEDED_CONSTRUCTORS = SEEDED_RNG_CONSTRUCTORS
 
 #: Names that may be *referenced* bare (annotations, isinstance checks).
 _RNG_TYPE_REFERENCES = {
@@ -177,22 +140,8 @@ class UnseededRandomRule(Rule):
 # DET002 — wall-clock reads
 
 
-_WALL_CLOCK_APIS = {
-    "time.time",
-    "time.time_ns",
-    "time.perf_counter",
-    "time.perf_counter_ns",
-    "time.monotonic",
-    "time.monotonic_ns",
-    "time.process_time",
-    "time.process_time_ns",
-    "time.clock_gettime",
-    "time.clock_gettime_ns",
-    "datetime.datetime.now",
-    "datetime.datetime.utcnow",
-    "datetime.datetime.today",
-    "datetime.date.today",
-}
+#: Shared with the dataflow layer's ``clock`` effect extraction.
+_WALL_CLOCK_APIS = WALL_CLOCK_APIS
 
 
 @dataclass
@@ -259,51 +208,7 @@ class WallClockRule(Rule):
 # DET003 — hash-order iteration feeding ordered constructs
 
 
-_ORDERED_CONSUMERS = {"list", "tuple", "enumerate", "min", "max"}
-
-
-def _is_unordered_expr(node: ast.AST) -> bool:
-    """Syntactically-certain unordered iterables: sets and dict views."""
-    if isinstance(node, (ast.Set, ast.SetComp)):
-        return True
-    if isinstance(node, ast.Call):
-        func = node.func
-        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
-            return True
-        if isinstance(func, ast.Attribute) and func.attr in (
-            "keys",
-            "values",
-            "items",
-        ):
-            # Dict views are insertion-ordered, but insertion order is
-            # itself schedule-dependent whenever the dict was built from
-            # an unordered source; the repo-wide convention is to sort.
-            return func.attr == "keys"
-    if isinstance(node, ast.BinOp) and isinstance(
-        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-    ):
-        return _is_unordered_expr(node.left) or _is_unordered_expr(node.right)
-    return False
-
-
-def _order_sensitive_loop(loop: ast.For) -> ast.AST | None:
-    """First statement in the body that makes iteration order observable."""
-    for node in ast.walk(loop):
-        if isinstance(node, (ast.Break, ast.Return, ast.Yield, ast.YieldFrom)):
-            return node
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Attribute)
-            and node.func.attr in ("append", "extend", "insert")
-        ):
-            return node
-        if isinstance(node, (ast.Assign, ast.AugAssign)):
-            targets = (
-                node.targets if isinstance(node, ast.Assign) else [node.target]
-            )
-            if any(isinstance(t, ast.Subscript) for t in targets):
-                return node
-    return None
+_ORDERED_CONSUMERS = ORDERED_CONSUMERS
 
 
 @dataclass
@@ -315,19 +220,44 @@ class UnorderedIterationRule(Rule):
     moves in different orders, pick different tie-breaks, and return
     different plans at equal cost.  Wrapping the iterable in
     ``sorted(...)`` restores a schedule-independent order.
+
+    The rule is taint-aware per scope: a name whose every visible binding
+    is an unordered value (``s = set(xs)``, ``d = {k: v for k in s}``) is
+    unordered too, so laundering a set through a local variable — or a
+    dict built from one, whose ``.items()`` view replays hash order —
+    no longer hides the dependence.  Rebinding through ``sorted(...)``
+    removes the taint, so the idiomatic fix stays clean.
     """
 
     code: str = "DET003"
     name: str = "unordered-iteration"
     description: str = (
-        "iteration over bare set/dict.keys() feeding ordered constructs "
-        "(list building, min/max, early exit) without sorted(...)"
+        "iteration over bare set/dict.keys()/tainted unordered names "
+        "feeding ordered constructs (list building, min/max, early exit) "
+        "without sorted(...)"
     )
 
     def check(self, ctx: "ModuleContext") -> Iterator[Finding]:
-        for node in ast.walk(ctx.tree):
-            if isinstance(node, ast.For) and _is_unordered_expr(node.iter):
-                witness = _order_sensitive_loop(node)
+        scopes: list[ast.AST] = [ctx.tree] + [
+            node
+            for node in ast.walk(ctx.tree)
+            if isinstance(
+                node,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda),
+            )
+        ]
+        for scope in scopes:
+            tainted = unordered_tainted_names(scope)
+            yield from self._check_scope(ctx, scope, tainted)
+
+    def _check_scope(
+        self, ctx: "ModuleContext", scope: ast.AST, tainted: frozenset[str]
+    ) -> Iterator[Finding]:
+        for node in own_scope_walk(scope):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and is_unordered_expr(
+                node.iter, tainted
+            ):
+                witness = order_sensitive_loop(node)
                 if witness is not None:
                     yield self.finding(
                         ctx,
@@ -339,7 +269,7 @@ class UnorderedIterationRule(Rule):
                     )
             elif isinstance(node, ast.ListComp):
                 for generator in node.generators:
-                    if _is_unordered_expr(generator.iter):
+                    if is_unordered_expr(generator.iter, tainted):
                         yield self.finding(
                             ctx,
                             generator.iter,
@@ -362,10 +292,11 @@ class UnorderedIterationRule(Rule):
                 if consumer is None or not node.args:
                     continue
                 head = node.args[0]
-                unordered = _is_unordered_expr(head) or (
+                unordered = is_unordered_expr(head, tainted) or (
                     isinstance(head, ast.GeneratorExp)
                     and any(
-                        _is_unordered_expr(g.iter) for g in head.generators
+                        is_unordered_expr(g.iter, tainted)
+                        for g in head.generators
                     )
                 )
                 if unordered:

@@ -41,6 +41,7 @@ def simpli_squared_order(graph: JoinGraph) -> JoinOrder:
         return (graph.relation(index).base_cardinality, index)
 
     remaining = set(range(n))
+    # detlint: ignore[DET003] -- key is injective; min() is order-independent
     first = min(remaining, key=key)
     order = [first]
     remaining.discard(first)

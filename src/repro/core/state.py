@@ -416,6 +416,7 @@ class BatchEvaluator(Evaluator):
         costs, saturated = self.context.batch_costs(orders, validate=False)
         cost_list = [float(cost) for cost in costs]
         flag_list = [bool(flag) for flag in saturated]
+        # detlint: ignore[PURE001] -- telemetry counter; outputs unaffected
         self.n_batches += 1
         n_saturated = sum(flag_list)
         self.n_saturated += n_saturated

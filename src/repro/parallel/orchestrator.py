@@ -186,6 +186,7 @@ def run_job(job: OptimizeJob) -> JobOutcome:
             metrics=tracer.metrics.snapshot() if tracer is not None else None,
         )
     if _SHARED_BOUND is not None:
+        # detlint: ignore[RACE001] -- lock-guarded monotone bound channel
         _SHARED_BOUND.publish(result.cost)
     return JobOutcome(
         job.index, job.tag, result, result.units_spent, None,

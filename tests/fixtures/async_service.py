@@ -1,0 +1,49 @@
+"""ASYNC001 demonstration fixture (never imported by product code).
+
+``tests/test_analysis_interproc.py`` runs detlint over this file and
+asserts the *flagged* coroutines trip ASYNC001 — including the blocking
+call hidden two synchronous frames down — while the *clean* variants,
+which await instead of blocking, do not.  The file is kept importable
+(no side effects at import time) so the fixture doubles as living
+documentation of the rule.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+
+def _load_plan_text(path: str) -> str:
+    # Synchronous file IO: fine from sync code, poison under async.
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _throttle() -> None:
+    time.sleep(0.01)
+
+
+def _throttled_read(path: str) -> str:
+    _throttle()
+    return _load_plan_text(path)
+
+
+async def serve_plan_blocking(path: str) -> str:
+    """FLAGGED: blocks the event loop through a synchronous helper."""
+    return _throttled_read(path)
+
+
+async def sleepy_heartbeat() -> None:
+    """FLAGGED: a direct time.sleep in a coroutine."""
+    time.sleep(0.5)
+
+
+async def serve_plan_clean(path: str) -> str:
+    """Clean: the blocking read is pushed onto a worker thread."""
+    return await asyncio.to_thread(_throttled_read, path)
+
+
+async def clean_heartbeat() -> None:
+    """Clean: awaits the async sleep instead of stalling the loop."""
+    await asyncio.sleep(0.5)

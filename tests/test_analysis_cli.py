@@ -120,12 +120,88 @@ def test_list_rules_prints_all_codes(
         "DET002",
         "DET003",
         "DET004",
+        "DET005",
         "EXC001",
+        "EXC002",
         "OVF001",
+        "PURE001",
+        "RACE001",
+        "ASYNC001",
         "SUP001",
         "SUP002",
     ):
         assert code in out
+
+
+def test_sarif_report_through_main(
+    project: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    write_module(project, DIRTY_MODULE)
+    assert main(["src", "--format", "sarif"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["version"] == "2.1.0"
+    (run,) = document["runs"]
+    (result,) = run["results"]
+    assert result["ruleId"] == "DET001"
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]
+    assert uri["uri"] == "src/mod.py"
+
+
+# ---------------------------------------------------------------------------
+# Exit-code contract: docs/static-analysis.md is the source of truth
+
+
+def documented_exit_codes() -> dict[int, str]:
+    """Parse the exit-code table out of the user-facing docs."""
+    doc = (REPO_ROOT / "docs" / "static-analysis.md").read_text()
+    table: dict[int, str] = {}
+    for line in doc.splitlines():
+        cells = [c.strip() for c in line.strip().strip("|").split("|")]
+        if len(cells) == 2 and cells[0].strip("`").isdigit():
+            table[int(cells[0].strip("`"))] = cells[1]
+    return table
+
+
+def test_docs_enumerate_exactly_the_three_exit_codes() -> None:
+    table = documented_exit_codes()
+    assert set(table) == {0, 1, 2}
+    assert "open finding" in table[1]
+    assert "configuration" in table[2]
+
+
+def test_exit_codes_match_docs(
+    project: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    """Drive main() into each documented state; codes must line up."""
+    assert set(documented_exit_codes()) == {0, 1, 2}
+    write_module(project, CLEAN_MODULE)
+    assert main(["src"]) == 0  # clean
+    write_module(project, DIRTY_MODULE)
+    assert main(["src"]) == 1  # open finding
+    assert main(["nonexistent-path"]) == 2  # usage error
+    capsys.readouterr()
+
+
+def test_exit_code_is_stable_on_the_cache_hit_path(
+    project: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    """A warm (summary-cache) rerun must report byte-identical results.
+
+    The project fixture leaves caching at its default (enabled), so the
+    first ``main()`` populates ``.detlint-cache.json`` and the second
+    run takes the cache-hit path end to end.
+    """
+    write_module(project, DIRTY_MODULE)
+    assert main(["src", "--format", "json"]) == 1
+    cold = capsys.readouterr().out
+    assert (project / ".detlint-cache.json").is_file()
+    assert main(["src", "--format", "json"]) == 1
+    warm = capsys.readouterr().out
+    assert warm == cold
+    # And the clean tree stays exit 0 across cold and warm runs too.
+    write_module(project, CLEAN_MODULE)
+    assert main(["src"]) == 0
+    assert main(["src"]) == 0
 
 
 # ---------------------------------------------------------------------------
@@ -218,6 +294,19 @@ def test_write_baseline_then_rerun_is_clean(
 
     # --no-baseline reveals the grandfathered finding again.
     assert main(["src", "--no-baseline"]) == 1
+
+
+def test_update_baseline_is_an_alias_for_write_baseline(
+    project: Path, capsys: pytest.CaptureFixture[str]
+) -> None:
+    write_module(project, DIRTY_MODULE)
+    assert main(["src", "--update-baseline"]) == 0
+    capsys.readouterr()
+    written = (project / "detlint-baseline.json").read_text()
+    assert main(["src", "--write-baseline"]) == 0
+    capsys.readouterr()
+    assert (project / "detlint-baseline.json").read_text() == written
+    assert main(["src"]) == 0
 
 
 def test_baseline_survives_line_shifts(project: Path) -> None:

@@ -330,6 +330,46 @@ def test_det003_allows_items_iteration() -> None:
     assert "DET003" not in codes(findings)
 
 
+def test_det003_near_miss_sorted_set_stays_clean() -> None:
+    # The canonical fix pattern must never flag, in any consuming position.
+    findings = analyze(
+        """
+        def ordered(items):
+            first = sorted(set(items))[0]
+            pairs = [(v, v * v) for v in sorted({i % 7 for i in items})]
+            return first, pairs, min(sorted(set(items)))
+        """
+    )
+    assert "DET003" not in codes(findings)
+
+
+def test_det003_second_order_taint_through_set_built_dict() -> None:
+    # items() is insertion-ordered — but here the insertion order itself
+    # came from iterating a set, so the dict inherits the taint and the
+    # ordered consumption downstream must still flag.
+    findings = analyze(
+        """
+        def tally(items):
+            counts = {}
+            for v in set(items):
+                counts[v] = counts.get(v, 0) + 1
+            return [k for k, n in counts.items() if n > 1]
+        """
+    )
+    assert "DET003" in codes(findings)
+
+
+def test_det003_taints_unordered_default_argument() -> None:
+    source = """
+    def pick(tags=frozenset({"a", "b"})):
+        return [t for t in tags]
+    """
+    assert "DET003" in codes(analyze(source))
+    # The sorted() variant of the same default stays clean.
+    fixed = source.replace("for t in tags", "for t in sorted(tags)")
+    assert "DET003" not in codes(analyze(fixed))
+
+
 # ---------------------------------------------------------------------------
 # DET004 — pool dispatch
 
