@@ -42,6 +42,7 @@ DEFAULT_TOOL_TABLE: dict[str, Any] = {
             "allow": [
                 "src/repro/core/budget.py",
                 "src/repro/cost/calibration.py",
+                "src/repro/obs/wallclock.py",
             ],
             "verified_clean": ["src/repro/obs"],
         },

@@ -12,6 +12,17 @@ Commands
     Optimize a seeded workload under q-error-perturbed statistics,
     re-cost under the truth, and print the q-error-vs-regret curves
     (optionally closing the measurement-feedback loop).
+``explain-trace``
+    Reconstruct a plan's incumbent lineage ("why this plan") from a
+    trace file recorded with ``--trace``.
+``bench``
+    Benchmark history ledger: ``bench record`` appends normalized
+    ``BENCH_*.json`` entries to ``benchmarks/results/HISTORY.jsonl``;
+    ``bench check`` compares the newest entry per benchmark against a
+    trailing window and exits 1 on regression (the CI perf gate).
+``obs``
+    Passthrough to the trace reader CLI (``python -m repro.obs``):
+    ``summarize`` / ``diff`` / ``profile``.
 ``methods``
     List the available optimization methods.
 ``benchmarks``
@@ -21,6 +32,9 @@ Exit codes
 ----------
 0
     Success: a verified plan was produced cleanly.
+1
+    Regression/divergence: ``bench check`` found a perf regression, or
+    ``obs diff`` found trace divergence.
 2
     Usage error: bad arguments, unknown method, unparsable query,
     invalid statistics.
@@ -35,6 +49,7 @@ Exit codes
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -156,6 +171,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write the run's metrics registry (counters, gauges, "
         "histograms) to this JSON file",
+    )
+    observability.add_argument(
+        "--wall",
+        action="store_true",
+        help="with --trace, also record a wall-clock sidecar "
+        "(FILE.jsonl.wall) for `repro obs profile --wall`; the trace "
+        "itself stays byte-identical (timestamps never enter it)",
     )
 
     cmd = sub.add_parser(
@@ -324,6 +346,78 @@ def _build_parser() -> argparse.ArgumentParser:
     cmd.add_argument("--seed", type=int, default=0)
     cmd.add_argument("--explain", action="store_true")
 
+    cmd = sub.add_parser(
+        "explain-trace",
+        help="reconstruct a plan's incumbent lineage from a trace file",
+    )
+    cmd.add_argument("trace", help="path to a .jsonl trace file")
+    cmd.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (json is canonical and byte-stable)",
+    )
+
+    cmd = sub.add_parser(
+        "bench",
+        help="benchmark history ledger (record BENCH_*.json, check trends)",
+    )
+    bench_sub = cmd.add_subparsers(dest="bench_command", required=True)
+    rec = bench_sub.add_parser(
+        "record",
+        help="append normalized BENCH_*.json entries to the history ledger",
+    )
+    rec.add_argument(
+        "files",
+        nargs="*",
+        help="benchmark JSON files (default: benchmarks/results/BENCH_*.json)",
+    )
+    rec.add_argument(
+        "--history",
+        default=None,
+        help="ledger path (default: benchmarks/results/HISTORY.jsonl)",
+    )
+    rec.add_argument(
+        "--note",
+        default=None,
+        help="run metadata stamped on every entry (commit id, 'backfill', ...)",
+    )
+    chk = bench_sub.add_parser(
+        "check",
+        help="compare newest entries against their trailing window; "
+        "exits 1 on regression",
+    )
+    chk.add_argument("--history", default=None, help="ledger path")
+    chk.add_argument(
+        "--window", type=int, default=None, help="trailing entries compared"
+    )
+    chk.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="base relative deviation allowed (noise spread is added)",
+    )
+    chk.add_argument(
+        "--min-history",
+        type=int,
+        default=None,
+        help="entries required before a benchmark gates",
+    )
+    chk.add_argument(
+        "--format", choices=("text", "json"), default="text"
+    )
+
+    cmd = sub.add_parser(
+        "obs",
+        help="trace reader passthrough (= python -m repro.obs ...)",
+    )
+    cmd.add_argument(
+        "obs_args",
+        nargs=argparse.REMAINDER,
+        help="arguments for the repro.obs reader CLI "
+        "(summarize | diff | profile)",
+    )
+
     sub.add_parser("methods", help="list optimization methods")
     sub.add_parser("benchmarks", help="list benchmark variations")
     return parser
@@ -333,6 +427,12 @@ def _make_tracer(args: argparse.Namespace):
     """A recording tracer when ``--trace``/``--metrics`` asked for one."""
     if args.trace is None and args.metrics is None:
         return None
+    if getattr(args, "wall", False) and args.trace is not None:
+        # The sanctioned DET002 clock boundary: timestamps go to a
+        # sidecar file, never into the trace (see repro.obs.wallclock).
+        from repro.obs.wallclock import WallClockTracer
+
+        return WallClockTracer()
     from repro.obs import RecordingTracer
 
     return RecordingTracer()
@@ -354,6 +454,11 @@ def _flush_observability(tracer, args: argparse.Namespace, result) -> None:
                 "seed": args.seed,
             },
         )
+        wall = getattr(tracer, "wall", None)
+        if wall is not None:
+            from repro.obs.wallclock import sidecar_path, write_wall_sidecar
+
+            write_wall_sidecar(wall, sidecar_path(args.trace))
     if args.metrics is not None:
         write_metrics(tracer.metrics, args.metrics)
 
@@ -765,6 +870,94 @@ def _cmd_benchmarks() -> int:
     return 0
 
 
+def _cmd_explain_trace(args: argparse.Namespace) -> int:
+    from repro.obs import TraceFormatError, read_trace
+    from repro.obs.provenance import (
+        build_provenance,
+        provenance_json,
+        render_provenance,
+    )
+
+    try:
+        events = read_trace(args.trace)
+    except (FileNotFoundError, TraceFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    provenance = build_provenance(events)
+    if args.format == "json":
+        sys.stdout.write(provenance_json(provenance))
+    else:
+        print(render_provenance(provenance))
+    return EXIT_OK
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    import glob as glob_module
+
+    from repro.obs import bench as bench_module
+
+    history = args.history or bench_module.DEFAULT_HISTORY
+    if args.bench_command == "record":
+        files = list(args.files) or sorted(
+            glob_module.glob(
+                os.path.join("benchmarks", "results", "BENCH_*.json")
+            )
+        )
+        if not files:
+            print("error: no benchmark JSON files found", file=sys.stderr)
+            return EXIT_USAGE
+        try:
+            entries = bench_module.record(files, history, note=args.note)
+        except (FileNotFoundError, bench_module.BenchFormatError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        print(f"recorded {len(entries)} entr"
+              f"{'y' if len(entries) == 1 else 'ies'} to {history}")
+        return EXIT_OK
+    try:
+        report = bench_module.check(
+            history,
+            window=(
+                args.window
+                if args.window is not None
+                else bench_module.DEFAULT_WINDOW
+            ),
+            threshold=(
+                args.threshold
+                if args.threshold is not None
+                else bench_module.DEFAULT_THRESHOLD
+            ),
+            min_history=(
+                args.min_history
+                if args.min_history is not None
+                else bench_module.DEFAULT_MIN_HISTORY
+            ),
+        )
+    except (FileNotFoundError, bench_module.BenchFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.format == "json":
+        import json as json_module
+
+        sys.stdout.write(
+            json_module.dumps(
+                bench_module.check_report_dict(report),
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+    else:
+        print(bench_module.render_check(report))
+    return EXIT_OK if report.ok else 1
+
+
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.__main__ import main as obs_main
+
+    return obs_main(args.obs_args)
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "optimize":
         return _cmd_optimize(args)
@@ -782,6 +975,12 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_robustness(args)
     if args.command == "sql":
         return _cmd_sql(args)
+    if args.command == "explain-trace":
+        return _cmd_explain_trace(args)
+    if args.command == "bench":
+        return _cmd_bench(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
     if args.command == "methods":
         return _cmd_methods()
     if args.command == "benchmarks":
@@ -805,6 +1004,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         message = exc.args[0] if exc.args else exc
         print(f"error: {message}", file=sys.stderr)
         return EXIT_USAGE
+    except BrokenPipeError:
+        # Reader closed early (e.g. `repro explain-trace t.jsonl | head`):
+        # not an error.  Point stdout at devnull so the interpreter's
+        # exit flush cannot raise a second time.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return EXIT_OK
 
 
 if __name__ == "__main__":

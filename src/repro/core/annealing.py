@@ -261,6 +261,7 @@ def simulated_annealing(
                         )
                     if accept:
                         evaluator.commit_candidate(neighbor)
+                        prev_cost = current_cost
                         current, current_cost = neighbor, neighbor_cost
                         accepted += 1
                         if current_cost < best.cost:
@@ -268,15 +269,21 @@ def simulated_annealing(
                             chains_without_improvement = -1
                     if tracer.enabled:
                         if accept:
-                            outcome = obs_events.ACCEPTED
                             tracer.metrics.inc("moves_accepted")
-                        elif neighbor_cost is None:
-                            outcome = obs_events.PRUNED
-                            tracer.metrics.inc("moves_pruned")
+                            tracer.emit(
+                                obs_events.MOVE,
+                                outcome=obs_events.ACCEPTED,
+                                cost=current_cost,
+                                delta=current_cost - prev_cost,
+                            )
                         else:
-                            outcome = obs_events.REJECTED
-                            tracer.metrics.inc("moves_rejected")
-                        tracer.emit(obs_events.MOVE, outcome=outcome)
+                            if neighbor_cost is None:
+                                outcome = obs_events.PRUNED
+                                tracer.metrics.inc("moves_pruned")
+                            else:
+                                outcome = obs_events.REJECTED
+                                tracer.metrics.inc("moves_rejected")
+                            tracer.emit(obs_events.MOVE, outcome=outcome)
             chains_without_improvement += 1
             acceptance_ratio = accepted / chain_length
             if tracer.enabled:
@@ -403,6 +410,7 @@ def _chain_batched(
             moves_done += 1
             if accept:
                 evaluator.commit_candidate(spec.neighbor)
+                prev_cost = current_cost
                 current, current_cost = spec.neighbor, neighbor_cost
                 accepted += 1
                 if current_cost < best.cost:
@@ -410,15 +418,21 @@ def _chain_batched(
                     improved = True
             if tracer.enabled:
                 if accept:
-                    outcome = obs_events.ACCEPTED
                     tracer.metrics.inc("moves_accepted")
-                elif neighbor_cost is None:
-                    outcome = obs_events.PRUNED
-                    tracer.metrics.inc("moves_pruned")
+                    tracer.emit(
+                        obs_events.MOVE,
+                        outcome=obs_events.ACCEPTED,
+                        cost=current_cost,
+                        delta=current_cost - prev_cost,
+                    )
                 else:
-                    outcome = obs_events.REJECTED
-                    tracer.metrics.inc("moves_rejected")
-                tracer.emit(obs_events.MOVE, outcome=outcome)
+                    if neighbor_cost is None:
+                        outcome = obs_events.PRUNED
+                        tracer.metrics.inc("moves_pruned")
+                    else:
+                        outcome = obs_events.REJECTED
+                        tracer.metrics.inc("moves_rejected")
+                    tracer.emit(obs_events.MOVE, outcome=outcome)
             if accept:
                 rng.setstate(restore)
                 sizer.shrink(consumed)

@@ -112,6 +112,7 @@ def _descend(
         )
         if neighbor_cost is not None and neighbor_cost < current_cost:
             evaluator.commit_candidate(neighbor)
+            prev_cost = current_cost
             current, current_cost = neighbor, neighbor_cost
             failures = 0
             depth += 1
@@ -120,6 +121,7 @@ def _descend(
                     obs_events.MOVE,
                     outcome=obs_events.ACCEPTED,
                     cost=neighbor_cost,
+                    delta=neighbor_cost - prev_cost,
                 )
                 tracer.metrics.inc("moves_accepted")
         else:
@@ -191,6 +193,7 @@ def _descend_batched(
                 raise
             if neighbor_cost is not None and neighbor_cost < current_cost:
                 evaluator.commit_candidate(spec.neighbor)
+                prev_cost = current_cost
                 current, current_cost = spec.neighbor, neighbor_cost
                 failures = 0
                 depth += 1
@@ -199,6 +202,7 @@ def _descend_batched(
                         obs_events.MOVE,
                         outcome=obs_events.ACCEPTED,
                         cost=neighbor_cost,
+                        delta=neighbor_cost - prev_cost,
                     )
                     tracer.metrics.inc("moves_accepted")
                 rng.setstate(spec.state_after_move)

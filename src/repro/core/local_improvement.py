@@ -153,6 +153,7 @@ def improve_pass(
                 obs_events.MOVE,
                 outcome=obs_events.ACCEPTED,
                 cost=best_in_window.cost,
+                delta=best_in_window.cost - current.cost,
                 window=position,
             )
             tracer.metrics.inc("moves_accepted")

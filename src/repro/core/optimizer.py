@@ -13,7 +13,8 @@ combinatorial search proper:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.catalog.join_graph import JoinGraph, Query
 from repro.core.budget import Budget, BudgetExhausted, DEFAULT_UNITS_PER_N2
@@ -42,6 +43,9 @@ from repro.plans.join_order import JoinOrder
 from repro.plans.join_tree import JoinTree, build_join_tree
 from repro.utils.rng import derive_rng
 
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.obs.provenance import PlanProvenance
+
 
 @dataclass(frozen=True)
 class OptimizationResult:
@@ -51,6 +55,12 @@ class OptimizationResult:
     from at least one failure to produce this result; ``failures`` holds
     the corresponding :class:`~repro.robustness.resilience.FailureRecord`
     entries, in the order they occurred (empty for clean runs).
+
+    ``provenance`` is the incumbent lineage reconstructed from the trace
+    (:mod:`repro.obs.provenance`) when tracing was on, else ``None``.
+    It is excluded from equality/hash so a traced result still compares
+    equal to its untraced twin — the differential determinism suite
+    relies on tracing never changing the result.
     """
 
     method: str
@@ -62,6 +72,9 @@ class OptimizationResult:
     trajectory: tuple[tuple[float, float], ...]
     degraded: bool = False
     failures: tuple = ()
+    provenance: "PlanProvenance | None" = field(
+        default=None, compare=False, repr=False
+    )
 
     def best_cost_within(self, units: float) -> float | None:
         """Best cost known once ``units`` had been spent (trajectory read)."""
@@ -384,7 +397,7 @@ def _finish_trace(
     trace_path: str | None,
     budget: Budget,
 ) -> OptimizationResult:
-    """Emit the run's closing event and flush the file sink, if any."""
+    """Emit the run's closing event, attach provenance, flush the sink."""
     if tracer.enabled:
         tracer.bind_clock(budget)
         tracer.emit(
@@ -396,9 +409,18 @@ def _finish_trace(
         )
         tracer.metrics.gauge("best_cost", result.cost)
         tracer.metrics.gauge("budget_spent", budget.spent)
+        events = getattr(tracer, "events", None)
+        if events is not None:
+            # Reconstructed from the trace just closed — a pure fold
+            # over the events, so the result object itself stays
+            # byte-identical to an untraced run's (the field is
+            # excluded from equality).
+            from repro.obs.provenance import build_provenance
+
+            result = replace(result, provenance=build_provenance(events))
         if trace_path is not None:
             write_trace(
-                getattr(tracer, "events", []),
+                events if events is not None else [],
                 trace_path,
                 meta={"method": result.method, "n_relations": result.graph.n_relations},
             )

@@ -25,12 +25,34 @@ from repro.obs.events import (
     TraceEvent,
     TraceFormatError,
 )
+from repro.obs.bench import (
+    BenchCheckReport,
+    BenchDelta,
+    check as bench_check,
+    record as bench_record,
+)
 from repro.obs.metrics import DEFAULT_BUCKETS, Histogram, Metrics
+from repro.obs.profile import (
+    SearchProfile,
+    collapsed_stacks,
+    profile_events,
+    profile_json,
+    profile_report,
+    render_profile,
+)
+from repro.obs.provenance import (
+    IncumbentStep,
+    PlanProvenance,
+    build_provenance,
+    provenance_json,
+    render_provenance,
+)
 from repro.obs.summarize import (
     TraceSummary,
     diff_traces,
     render_summary,
     summarize_events,
+    summary_json,
 )
 from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer, as_tracer
 from repro.obs.writer import (
@@ -45,28 +67,44 @@ from repro.obs.writer import (
 
 __all__ = [
     "ACCEPTED",
+    "BenchCheckReport",
+    "BenchDelta",
     "DEFAULT_BUCKETS",
     "EVENT_KINDS",
     "Histogram",
+    "IncumbentStep",
     "Metrics",
     "MOVE_OUTCOMES",
     "NULL_TRACER",
     "PRUNED",
+    "PlanProvenance",
     "REJECTED",
     "RecordingTracer",
+    "SearchProfile",
     "TRACE_VERSION",
     "TraceEvent",
     "TraceFormatError",
     "TraceSummary",
     "Tracer",
     "as_tracer",
+    "bench_check",
+    "bench_record",
+    "build_provenance",
+    "collapsed_stacks",
     "diff_traces",
     "iter_trace",
+    "profile_events",
+    "profile_json",
+    "profile_report",
+    "provenance_json",
     "read_metrics",
     "read_trace",
     "read_trace_meta",
+    "render_profile",
+    "render_provenance",
     "render_summary",
     "summarize_events",
+    "summary_json",
     "write_metrics",
     "write_trace",
 ]

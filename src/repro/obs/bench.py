@@ -1,0 +1,316 @@
+"""Benchmark history ledger: record ``BENCH_*.json``, watch for trends.
+
+The perf benchmarks each write one free-form ``BENCH_*.json`` file under
+``benchmarks/results/`` — useful snapshots, but shapeless for trend
+tracking.  This module normalizes them into an append-only JSONL ledger
+(``benchmarks/results/HISTORY.jsonl``, the perf source of truth named by
+``docs/performance.md``):
+
+* :func:`record` flattens each file's numeric leaves into dotted metric
+  paths (``sizes.0.modes.full.seconds``) and appends one canonical JSON
+  line per file, keyed by the benchmark name;
+* :func:`check` compares the newest entry per benchmark against a
+  trailing window of its predecessors with noise-aware thresholds
+  (the allowed deviation widens with the window's own relative spread)
+  and reports regressions — ``repro bench check`` exits nonzero on any,
+  so CI can gate on it.
+
+Only metrics whose *direction* is unambiguous from their name gate
+(``seconds``/``overhead`` lower-better, ``speedup``/``per_sec``
+higher-better); everything else is recorded for the archaeologists but
+never flags.  Nothing here reads a clock or draws randomness: given the
+same inputs, ``record`` appends identical bytes and ``check`` renders an
+identical report.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+#: Default ledger location, relative to the repository root.
+DEFAULT_HISTORY = os.path.join("benchmarks", "results", "HISTORY.jsonl")
+
+#: Ledger entry schema version.
+HISTORY_VERSION = 1
+
+#: Gating defaults: window length, relative threshold, entries required.
+DEFAULT_WINDOW = 5
+DEFAULT_THRESHOLD = 0.5
+DEFAULT_MIN_HISTORY = 2
+
+
+class BenchFormatError(ValueError):
+    """A benchmark JSON file or ledger line is malformed."""
+
+
+def flatten_metrics(payload: Any, prefix: str = "") -> dict[str, float]:
+    """Numeric leaves of a nested JSON value, keyed by dotted path.
+
+    Booleans and strings are skipped (they are labels, not measurements);
+    list elements are keyed by index.  Keys are visited in sorted order,
+    so the result's insertion order is canonical.
+    """
+    flat: dict[str, float] = {}
+    if isinstance(payload, bool):
+        return flat
+    if isinstance(payload, (int, float)):
+        flat[prefix or "value"] = float(payload)
+        return flat
+    if isinstance(payload, Mapping):
+        for key in sorted(payload, key=str):
+            child = f"{prefix}.{key}" if prefix else str(key)
+            flat.update(flatten_metrics(payload[key], child))
+        return flat
+    if isinstance(payload, (list, tuple)):
+        for index, item in enumerate(payload):
+            child = f"{prefix}.{index}" if prefix else str(index)
+            flat.update(flatten_metrics(item, child))
+    return flat
+
+
+def benchmark_name(source: str, payload: Mapping[str, Any]) -> str:
+    """The ledger key: the file's ``benchmark`` field, else its stem."""
+    name = payload.get("benchmark")
+    if isinstance(name, str) and name:
+        return name
+    stem = os.path.splitext(os.path.basename(source))[0]
+    if stem.startswith("BENCH_"):
+        stem = stem[len("BENCH_") :]
+    return stem.lower()
+
+
+def normalize_bench_file(path: str) -> dict[str, Any]:
+    """One ledger entry (un-serialized) for one ``BENCH_*.json`` file."""
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            payload = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise BenchFormatError(f"{path}: not valid JSON: {exc}")
+    if not isinstance(payload, Mapping):
+        raise BenchFormatError(f"{path}: expected a JSON object")
+    return {
+        "version": HISTORY_VERSION,
+        "benchmark": benchmark_name(path, payload),
+        "source": os.path.basename(path),
+        "metrics": flatten_metrics(payload),
+    }
+
+
+def _dump_entry(entry: Mapping[str, Any]) -> str:
+    return json.dumps(entry, separators=(",", ":"), sort_keys=True)
+
+
+def record(
+    paths: Sequence[str],
+    history_path: str = DEFAULT_HISTORY,
+    note: str | None = None,
+) -> list[dict[str, Any]]:
+    """Append one normalized entry per file; returns the entries.
+
+    Files are processed in sorted-basename order so one invocation over
+    a glob appends deterministic bytes.  ``note`` (e.g. a commit id or
+    ``"backfill"``) rides on every entry as run metadata.
+    """
+    entries: list[dict[str, Any]] = []
+    for path in sorted(paths, key=os.path.basename):
+        entry = normalize_bench_file(path)
+        if note is not None:
+            entry["note"] = note
+        entries.append(entry)
+    if entries:
+        with open(history_path, "a", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(_dump_entry(entry) + "\n")
+    return entries
+
+
+def read_history(history_path: str) -> list[dict[str, Any]]:
+    """All ledger entries, in append order."""
+    entries: list[dict[str, Any]] = []
+    with open(history_path, "r", encoding="utf-8") as handle:
+        for number, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise BenchFormatError(
+                    f"{history_path}:{number}: not valid JSON: {exc}"
+                )
+            if not isinstance(entry, dict) or "benchmark" not in entry:
+                raise BenchFormatError(
+                    f"{history_path}:{number}: not a ledger entry"
+                )
+            entries.append(entry)
+    return entries
+
+
+def metric_direction(path: str) -> str | None:
+    """``"lower"``/``"higher"`` when the metric's good direction is clear.
+
+    Only clearly-named metrics gate; ambiguous ones return ``None`` and
+    are recorded without ever flagging.
+    """
+    leaf = path.rsplit(".", 1)[-1]
+    if "speedup" in leaf or leaf.endswith("per_sec") or "throughput" in leaf:
+        return "higher"
+    if leaf.startswith("seconds") or leaf.endswith("seconds"):
+        return "lower"
+    if "overhead" in leaf:
+        return "lower"
+    return None
+
+
+def _median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+@dataclass(frozen=True)
+class BenchDelta:
+    """One gated metric's newest value against its trailing baseline."""
+
+    benchmark: str
+    metric: str
+    direction: str
+    value: float
+    baseline: float  # median of the trailing window
+    tolerance: float  # relative deviation allowed (threshold + spread)
+    regressed: bool
+
+    @property
+    def ratio(self) -> float:
+        return self.value / self.baseline if self.baseline else float("inf")
+
+
+@dataclass
+class BenchCheckReport:
+    """Everything ``repro bench check`` prints (and exits on)."""
+
+    checked: list[BenchDelta] = field(default_factory=list)
+    skipped: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def regressions(self) -> list[BenchDelta]:
+        return [delta for delta in self.checked if delta.regressed]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+
+def check(
+    history_path: str = DEFAULT_HISTORY,
+    window: int = DEFAULT_WINDOW,
+    threshold: float = DEFAULT_THRESHOLD,
+    min_history: int = DEFAULT_MIN_HISTORY,
+) -> BenchCheckReport:
+    """Newest entry per benchmark vs the trailing window before it.
+
+    For each gated metric the baseline is the window's median and the
+    allowed relative deviation is ``threshold`` plus the window's own
+    relative spread ``(max - min) / |median|`` — a benchmark that
+    historically wobbles 30% must move further than one that holds
+    steady.  Metrics with a non-positive baseline never gate (ratios
+    are meaningless there).
+    """
+    report = BenchCheckReport()
+    grouped: dict[str, list[dict[str, Any]]] = {}
+    for entry in read_history(history_path):
+        grouped.setdefault(str(entry["benchmark"]), []).append(entry)
+    for name in sorted(grouped):
+        entries = grouped[name]
+        if len(entries) < max(min_history, 2):
+            report.skipped[name] = (
+                f"only {len(entries)} entr"
+                f"{'y' if len(entries) == 1 else 'ies'} recorded"
+            )
+            continue
+        newest = entries[-1]
+        trailing = entries[max(0, len(entries) - 1 - window) : -1]
+        newest_metrics = newest.get("metrics", {})
+        gated = 0
+        for metric in sorted(newest_metrics):
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            value = float(newest_metrics[metric])
+            history_values = [
+                float(entry["metrics"][metric])
+                for entry in trailing
+                if metric in entry.get("metrics", {})
+            ]
+            if not history_values:
+                continue
+            baseline = _median(history_values)
+            if baseline <= 0.0:
+                continue
+            spread = (max(history_values) - min(history_values)) / baseline
+            tolerance = threshold + spread
+            if direction == "lower":
+                regressed = value > baseline * (1.0 + tolerance)
+            else:
+                regressed = value < baseline / (1.0 + tolerance)
+            gated += 1
+            report.checked.append(
+                BenchDelta(
+                    benchmark=name,
+                    metric=metric,
+                    direction=direction,
+                    value=value,
+                    baseline=baseline,
+                    tolerance=tolerance,
+                    regressed=regressed,
+                )
+            )
+        if not gated:
+            report.skipped[name] = "no gateable metrics in common"
+    return report
+
+
+def check_report_dict(report: BenchCheckReport) -> dict[str, Any]:
+    """The check outcome as a plain JSON-able dict."""
+    return {
+        "ok": report.ok,
+        "checked": len(report.checked),
+        "regressions": [
+            {
+                "benchmark": delta.benchmark,
+                "metric": delta.metric,
+                "direction": delta.direction,
+                "value": delta.value,
+                "baseline": delta.baseline,
+                "ratio": delta.ratio,
+                "tolerance": delta.tolerance,
+            }
+            for delta in report.regressions
+        ],
+        "skipped": dict(report.skipped),
+    }
+
+
+def render_check(report: BenchCheckReport) -> str:
+    """The human-readable ``bench check`` report."""
+    lines: list[str] = []
+    benchmarks = sorted({delta.benchmark for delta in report.checked})
+    lines.append(
+        f"bench check: {len(report.checked)} metric(s) across "
+        f"{len(benchmarks)} benchmark(s), "
+        f"{len(report.regressions)} regression(s)"
+    )
+    for delta in report.regressions:
+        arrow = "above" if delta.direction == "lower" else "below"
+        lines.append(
+            f"  REGRESSION {delta.benchmark} :: {delta.metric} = "
+            f"{delta.value:g} is {arrow} baseline {delta.baseline:g} "
+            f"(ratio {delta.ratio:.3f}, tolerance ±{delta.tolerance:.0%})"
+        )
+    for name in sorted(report.skipped):
+        lines.append(f"  skipped {name}: {report.skipped[name]}")
+    return "\n".join(lines)

@@ -3,15 +3,24 @@
 Pure consumers of the JSONL format :mod:`repro.obs.writer` emits —
 nothing here imports the optimizer, so the reader CLI works on trace
 files shipped from elsewhere.
+
+Forward compatibility: event kinds outside the documented vocabulary
+are counted under an ``other`` bucket (with a per-kind breakdown in
+:attr:`TraceSummary.unknown_kinds`) rather than dropped or crashed on,
+so this reader can summarize traces written by newer writers.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Mapping, Sequence
 
 from repro.obs import events as ev
 from repro.obs.events import TraceEvent
+
+#: Bucket name unknown event kinds are counted under.
+OTHER_BUCKET = "other"
 
 
 @dataclass
@@ -34,6 +43,9 @@ class TraceSummary:
     final_units: float | None = None
     run_meta: dict[str, Any] = field(default_factory=dict)
     clock_span: float = 0.0
+    #: Per-kind counts of events outside the documented vocabulary
+    #: (their total also appears in ``kinds`` under ``other``).
+    unknown_kinds: dict[str, int] = field(default_factory=dict)
 
     @property
     def mean_acceptance(self) -> float:
@@ -46,7 +58,14 @@ def summarize_events(events: Iterable[TraceEvent]) -> TraceSummary:
     open_phases: dict[tuple[int | None, str], float] = {}
     for event in events:
         summary.n_events += 1
-        summary.kinds[event.kind] = summary.kinds.get(event.kind, 0) + 1
+        if event.kind in ev.EVENT_KINDS:
+            bucket = event.kind
+        else:
+            bucket = OTHER_BUCKET
+            summary.unknown_kinds[event.kind] = (
+                summary.unknown_kinds.get(event.kind, 0) + 1
+            )
+        summary.kinds[bucket] = summary.kinds.get(bucket, 0) + 1
         if event.clock > summary.clock_span:
             summary.clock_span = event.clock
         if event.worker is not None:
@@ -113,6 +132,12 @@ def render_summary(
         lines.append("by kind:")
         for kind in ordered:
             lines.append(f"  {kind:<12} {summary.kinds[kind]}")
+    if summary.unknown_kinds:
+        described = ", ".join(
+            f"{kind} x{summary.unknown_kinds[kind]}"
+            for kind in sorted(summary.unknown_kinds)
+        )
+        lines.append(f"unknown kinds (bucketed as other): {described}")
     total_moves = sum(summary.move_outcomes.values())
     if total_moves:
         lines.append(f"moves: {total_moves}")
@@ -153,6 +178,55 @@ def render_summary(
         )
         lines.append(f"final cost: {summary.final_cost:g}{units}")
     return "\n".join(lines)
+
+
+def summary_report(
+    summary: TraceSummary, meta: Mapping[str, Any] | None = None
+) -> dict[str, Any]:
+    """The summary as a plain JSON-able dict (``summarize --format json``)."""
+    return {
+        "events": summary.n_events,
+        "clock_span": summary.clock_span,
+        "run": {**dict(meta or {}), **summary.run_meta},
+        "kinds": {kind: summary.kinds[kind] for kind in sorted(summary.kinds)},
+        "unknown_kinds": {
+            kind: summary.unknown_kinds[kind]
+            for kind in sorted(summary.unknown_kinds)
+        },
+        "moves": {
+            outcome: summary.move_outcomes[outcome]
+            for outcome in sorted(summary.move_outcomes)
+        },
+        "chains": summary.chains,
+        "mean_acceptance": summary.mean_acceptance,
+        "phases": {
+            name: dict(sorted(summary.phases[name].items()))
+            for name in sorted(summary.phases)
+        },
+        "restarts": summary.restarts,
+        "workers": sorted(summary.workers),
+        "bounds": summary.bounds,
+        "faults": summary.faults,
+        "degraded": summary.degraded,
+        "best_updates": summary.best_updates,
+        "final_cost": summary.final_cost,
+        "final_units": summary.final_units,
+    }
+
+
+def summary_json(
+    summary: TraceSummary, meta: Mapping[str, Any] | None = None
+) -> str:
+    """Canonical serialization of :func:`summary_report` (byte-stable)."""
+    return (
+        json.dumps(
+            summary_report(summary, meta),
+            indent=2,
+            sort_keys=True,
+            separators=(",", ": "),
+        )
+        + "\n"
+    )
 
 
 def diff_traces(

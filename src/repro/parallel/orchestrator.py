@@ -428,13 +428,23 @@ def multi_start_optimize(
             # restart's events keep their order, clocks shift by the
             # units spent before it, and the restart index becomes the
             # worker attribution — index order, never completion order.
+            restart_data: dict[str, object] = {
+                "index": outcome.index,
+                "units": outcome.units_spent,
+            }
+            if outcome.result is not None:
+                # Per-restart attribution for the profiler/provenance
+                # readers: deterministic (outcomes are index-ordered and
+                # worker-count invariant), so merged traces stay
+                # bit-identical across worker counts.
+                restart_data["cost"] = outcome.result.cost
             tracer.extend_merged(
                 [
                     TraceEvent(
                         seq=0,
                         clock=0.0,
                         kind=obs_events.RESTART,
-                        data={"index": outcome.index, "units": outcome.units_spent},
+                        data=restart_data,
                     )
                 ],
                 clock_offset=offset,

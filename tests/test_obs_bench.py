@@ -1,0 +1,218 @@
+"""Tests for the benchmark history ledger (repro.obs.bench)."""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import bench
+
+
+def _write_bench(path, payload) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+    return str(path)
+
+
+@pytest.fixture
+def bench_file(tmp_path):
+    return _write_bench(
+        tmp_path / "BENCH_demo.json",
+        {
+            "benchmark": "demo-bench",
+            "seconds": 1.0,
+            "speedup_vs_serial": 4.0,
+            "n_joins": 20,
+            "nested": {"seconds": 0.5, "label": "ignored", "ok": True},
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# Normalization
+
+
+def test_flatten_metrics_numeric_leaves_only(bench_file) -> None:
+    entry = bench.normalize_bench_file(bench_file)
+    assert entry["benchmark"] == "demo-bench"
+    assert entry["metrics"] == {
+        "n_joins": 20.0,
+        "nested.seconds": 0.5,
+        "seconds": 1.0,
+        "speedup_vs_serial": 4.0,
+    }
+
+
+def test_benchmark_name_falls_back_to_stem(tmp_path) -> None:
+    path = _write_bench(tmp_path / "BENCH_detlint.json", {"warm_seconds": 1.0})
+    assert bench.normalize_bench_file(path)["benchmark"] == "detlint"
+
+
+def test_record_appends_deterministic_lines(bench_file, tmp_path) -> None:
+    history = str(tmp_path / "HISTORY.jsonl")
+    bench.record([bench_file], history, note="first")
+    bench.record([bench_file], history, note="first")
+    with open(history, "r", encoding="utf-8") as handle:
+        lines = handle.readlines()
+    assert len(lines) == 2
+    assert lines[0] == lines[1]
+    entry = json.loads(lines[0])
+    assert entry["note"] == "first"
+    assert entry["source"] == "BENCH_demo.json"
+
+
+def test_metric_direction_heuristics() -> None:
+    assert bench.metric_direction("seconds") == "lower"
+    assert bench.metric_direction("modes.full.seconds") == "lower"
+    assert bench.metric_direction("seconds_baseline_min") == "lower"
+    assert bench.metric_direction("overhead_factor") == "lower"
+    assert bench.metric_direction("speedup_vs_full") == "higher"
+    assert bench.metric_direction("evaluations_per_sec") == "higher"
+    assert bench.metric_direction("n_joins") is None
+    assert bench.metric_direction("pruning_ratio") is None
+
+
+# ---------------------------------------------------------------------------
+# Check: trailing-window regression detection
+
+
+def _history_with(tmp_path, values, metric="seconds") -> str:
+    history = str(tmp_path / "HISTORY.jsonl")
+    with open(history, "w", encoding="utf-8") as handle:
+        for value in values:
+            handle.write(
+                json.dumps(
+                    {
+                        "benchmark": "demo",
+                        "source": "BENCH_demo.json",
+                        "metrics": {metric: value},
+                        "version": 1,
+                    }
+                )
+                + "\n"
+            )
+    return history
+
+
+def test_check_passes_on_steady_history(tmp_path) -> None:
+    history = _history_with(tmp_path, [1.0, 1.02, 0.98, 1.01])
+    report = bench.check(history)
+    assert report.ok
+    assert len(report.checked) == 1
+    assert not report.checked[0].regressed
+
+
+def test_check_flags_injected_lower_better_regression(tmp_path) -> None:
+    history = _history_with(tmp_path, [1.0, 1.02, 0.98, 3.0])
+    report = bench.check(history)
+    assert not report.ok
+    (delta,) = report.regressions
+    assert delta.benchmark == "demo"
+    assert delta.metric == "seconds"
+    assert delta.direction == "lower"
+    assert delta.value == 3.0
+
+
+def test_check_flags_injected_higher_better_regression(tmp_path) -> None:
+    history = _history_with(
+        tmp_path, [4.0, 4.1, 3.9, 1.0], metric="speedup_vs_serial"
+    )
+    report = bench.check(history)
+    assert not report.ok
+    assert report.regressions[0].direction == "higher"
+
+
+def test_noise_widens_the_tolerance(tmp_path) -> None:
+    # A benchmark that historically wobbles 2x does not flag on a value
+    # the steady threshold alone would reject.
+    noisy = _history_with(tmp_path, [1.0, 2.0, 1.0, 2.0, 2.9])
+    assert bench.check(noisy).ok
+    steady = _history_with(tmp_path, [1.0, 1.0, 1.0, 1.0, 2.9])
+    assert not bench.check(steady).ok
+
+
+def test_single_entry_benchmarks_are_skipped(tmp_path) -> None:
+    history = _history_with(tmp_path, [1.0])
+    report = bench.check(history)
+    assert report.ok
+    assert "demo" in report.skipped
+
+
+def test_check_passes_on_backfilled_repo_history() -> None:
+    # The checked-in ledger (seeded from the BENCH_*.json files) must
+    # never flag: it is the baseline future runs compare against.
+    root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    history = os.path.join(root, "benchmarks", "results", "HISTORY.jsonl")
+    assert os.path.isfile(history), "backfilled HISTORY.jsonl is missing"
+    report = bench.check(history)
+    assert report.ok, bench.render_check(report)
+
+
+def test_check_report_is_deterministic(tmp_path) -> None:
+    history = _history_with(tmp_path, [1.0, 1.1, 0.9, 5.0])
+    first = bench.check_report_dict(bench.check(history))
+    second = bench.check_report_dict(bench.check(history))
+    assert json.dumps(first, sort_keys=True) == json.dumps(
+        second, sort_keys=True
+    )
+
+
+# ---------------------------------------------------------------------------
+# CLI
+
+
+def test_bench_cli_record_then_check(bench_file, tmp_path, capsys) -> None:
+    from repro.cli import main as repro_main
+
+    history = str(tmp_path / "HISTORY.jsonl")
+    assert (
+        repro_main(
+            ["bench", "record", bench_file, "--history", history, "--note", "a"]
+        )
+        == 0
+    )
+    assert (
+        repro_main(["bench", "record", bench_file, "--history", history]) == 0
+    )
+    capsys.readouterr()
+    assert repro_main(["bench", "check", "--history", history]) == 0
+    out = capsys.readouterr().out
+    assert "0 regression(s)" in out
+
+
+def test_bench_cli_check_exits_one_on_regression(tmp_path, capsys) -> None:
+    from repro.cli import main as repro_main
+
+    history = _history_with(tmp_path, [1.0, 1.0, 1.0, 9.0])
+    assert repro_main(["bench", "check", "--history", history]) == 1
+    out = capsys.readouterr().out
+    assert "REGRESSION" in out
+
+
+def test_bench_cli_missing_inputs_are_usage_errors(tmp_path, capsys) -> None:
+    from repro.cli import main as repro_main
+
+    missing = str(tmp_path / "nope.json")
+    history = str(tmp_path / "HISTORY.jsonl")
+    assert (
+        repro_main(["bench", "record", missing, "--history", history]) == 2
+    )
+    assert repro_main(["bench", "check", "--history", history]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err
+    assert "Traceback" not in err
+
+
+def test_bench_cli_check_json_format(tmp_path, capsys) -> None:
+    from repro.cli import main as repro_main
+
+    history = _history_with(tmp_path, [1.0, 1.0, 1.0, 9.0])
+    assert (
+        repro_main(["bench", "check", "--history", history, "--format", "json"])
+        == 1
+    )
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["ok"] is False
+    assert parsed["regressions"][0]["metric"] == "seconds"

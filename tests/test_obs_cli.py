@@ -85,3 +85,70 @@ def test_optimizer_cli_trace_and_metrics_flags(tmp_path, capsys) -> None:
     assert metrics["counters"].get("evaluations", 0) > 0
     assert obs_main(["summarize", str(trace_path)]) == EXIT_OK
     capsys.readouterr()
+
+# ---------------------------------------------------------------------------
+# PR 10 surface: summarize --format json, profile subcommand, obs passthrough
+
+
+def test_summarize_json_format_is_byte_stable(trace_file, capsys) -> None:
+    assert obs_main(["summarize", str(trace_file), "--format", "json"]) == EXIT_OK
+    first = capsys.readouterr().out
+    assert obs_main(["summarize", str(trace_file), "--format", "json"]) == EXIT_OK
+    second = capsys.readouterr().out
+    assert first == second
+    parsed = json.loads(first)
+    assert parsed["events"] > 0
+    assert "kinds" in parsed
+
+
+def test_summarize_buckets_unknown_kinds(tmp_path, capsys) -> None:
+    from repro.obs import TraceEvent
+
+    path = tmp_path / "future.jsonl"
+    write_trace(
+        [
+            TraceEvent(seq=0, clock=0.0, kind="run_start", data={}),
+            TraceEvent(seq=1, clock=1.0, kind="hyperdrive", data={}),
+            TraceEvent(seq=2, clock=2.0, kind="run_end", data={"cost": 1.0}),
+        ],
+        str(path),
+    )
+    assert obs_main(["summarize", str(path)]) == EXIT_OK
+    out = capsys.readouterr().out
+    assert "other" in out
+    assert "hyperdrive" in out
+    assert obs_main(["summarize", str(path), "--format", "json"]) == EXIT_OK
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["unknown_kinds"] == {"hyperdrive": 1}
+    assert parsed["kinds"]["other"] == 1
+
+
+def test_profile_subcommand_text_json_collapsed(trace_file, capsys) -> None:
+    assert obs_main(["profile", str(trace_file)]) == EXIT_OK
+    text = capsys.readouterr().out
+    assert "SA" in text
+    assert obs_main(["profile", str(trace_file), "--format", "json"]) == EXIT_OK
+    parsed = json.loads(capsys.readouterr().out)
+    assert parsed["tree"]["children"]
+    code = obs_main(["profile", str(trace_file), "--format", "collapsed"])
+    assert code == EXIT_OK
+    lines = capsys.readouterr().out.splitlines()
+    assert lines
+    for line in lines:
+        assert line.rsplit(" ", 1)[1].isdigit()
+
+
+def test_profile_missing_and_empty_files(tmp_path, capsys) -> None:
+    assert obs_main(["profile", str(tmp_path / "no.jsonl")]) == EXIT_USAGE
+    err = capsys.readouterr().err
+    assert err.startswith("error:")
+    assert "Traceback" not in err
+    empty = tmp_path / "empty.jsonl"
+    write_trace([], str(empty))
+    assert obs_main(["profile", str(empty)]) == EXIT_OK
+
+
+def test_repro_obs_passthrough(trace_file, capsys) -> None:
+    assert repro_main(["obs", "summarize", str(trace_file)]) == 0
+    assert "events" in capsys.readouterr().out
+    assert repro_main(["obs", "summarize", str(trace_file / "no")]) == 2
